@@ -1,0 +1,88 @@
+// Further ablation benchmarks: the footprint alternative and
+// fairness-capped scheduling.
+package bump
+
+import (
+	"testing"
+
+	"bump/internal/stats"
+)
+
+// BenchmarkAblationFootprint compares the paper's whole-region streaming
+// against an SMS-style footprint variant that fetches only the trained
+// block pattern. The paper's rationale (Section II.C/VII): whole-region
+// transfers guarantee one activation per region and need far less
+// storage; footprints trade lower overfetch for lost row locality and
+// coverage.
+func BenchmarkAblationFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := stats.NewTable("Ablation: whole-region vs footprint streaming",
+			"workload", "cov-region", "cov-footprint", "ovf-region", "ovf-footprint", "hit-region", "hit-footprint")
+		var dOvf, dHit []float64
+		for _, w := range Workloads() {
+			whole := mustRun(b, ablationConfig(MechBuMP, w))
+			fpCfg := ablationConfig(MechBuMP, w)
+			fpCfg.BuMP.Footprint = true
+			fp := mustRun(b, fpCfg)
+			t.AddRow(w.Name,
+				100*whole.ReadCoverage(), 100*fp.ReadCoverage(),
+				100*whole.ReadOverfetch(), 100*fp.ReadOverfetch(),
+				100*whole.RowHitRatio(), 100*fp.RowHitRatio())
+			dOvf = append(dOvf, whole.ReadOverfetch()-fp.ReadOverfetch())
+			dHit = append(dHit, whole.RowHitRatio()-fp.RowHitRatio())
+		}
+		b.Logf("\n%s", t)
+		b.ReportMetric(100*stats.Mean(dOvf), "%overfetchSavedByFootprint")
+		b.ReportMetric(100*stats.Mean(dHit), "%hitLostByFootprint")
+	}
+}
+
+// BenchmarkAblationFairnessCap applies a row-hit streak cap to BuMP's
+// FR-FCFS scheduler (the fairness-aware policies of Section VI): a small
+// cap trades row-buffer locality for bounded queueing of unlucky
+// requests.
+func BenchmarkAblationFairnessCap(b *testing.B) {
+	w := WebSearch()
+	for i := 0; i < b.N; i++ {
+		t := stats.NewTable("Ablation: FR-FCFS row-hit streak cap (web-search, BuMP)",
+			"cap", "row-hit", "IPC", "nJ/access")
+		for _, cap := range []int{0, 64, 16, 4} {
+			cfg := ablationConfig(MechBuMP, w)
+			cfg.MaxRowHitStreak = cap
+			res := mustRun(b, cfg)
+			name := "off"
+			if cap > 0 {
+				name = stats.FormatFloat(float64(cap))
+			}
+			t.AddRow(name, 100*res.RowHitRatio(), res.IPC(), res.EPATotal*1e9)
+			if cap == 4 {
+				b.ReportMetric(100*res.RowHitRatio(), "%hitCap4")
+			}
+			if cap == 0 {
+				b.ReportMetric(100*res.RowHitRatio(), "%hitUncapped")
+			}
+		}
+		b.Logf("\n%s", t)
+	}
+}
+
+// BenchmarkMultiSeedConfidence runs BuMP on web-search across seeds and
+// reports the 95% confidence half-widths, reproducing the paper's
+// SMARTS-style error discipline (average error below 2%).
+func BenchmarkMultiSeedConfidence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig(MechBuMP, WebSearch())
+		rs, err := RunSeeds(cfg, []int64{1, 2, 3, 4, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		a := AggregateResults(rs)
+		b.ReportMetric(100*a.RowHitRatio, "%hit")
+		b.ReportMetric(100*a.RowHitRatioCI, "%hitCI95")
+		b.ReportMetric(a.IPC, "ipc")
+		b.ReportMetric(a.IPCCI, "ipcCI95")
+		if a.IPC > 0 && a.IPCCI/a.IPC > 0.05 {
+			b.Logf("warning: IPC confidence interval above 5%%: %.3f±%.3f", a.IPC, a.IPCCI)
+		}
+	}
+}

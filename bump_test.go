@@ -1,0 +1,91 @@
+package bump
+
+import (
+	"testing"
+)
+
+// fastRun returns a short-window config for API tests.
+func fastRun(m Mechanism, w Workload) Config {
+	cfg := DefaultConfig(m, w)
+	cfg.LLCBytes = 1 << 20
+	cfg.WarmupCycles = 250_000
+	cfg.MeasureCycles = 500_000
+	return cfg
+}
+
+func TestPublicRun(t *testing.T) {
+	res, err := Run(fastRun(MechBuMP, WebSearch()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowHitRatio() <= 0 || res.IPC() <= 0 {
+		t.Errorf("empty result: hit=%v ipc=%v", res.RowHitRatio(), res.IPC())
+	}
+	if res.Mechanism != MechBuMP || res.Workload != "web-search" {
+		t.Errorf("identity: %v %s", res.Mechanism, res.Workload)
+	}
+}
+
+func TestPublicRunRejectsBadConfig(t *testing.T) {
+	cfg := fastRun(MechBuMP, WebSearch())
+	cfg.Cores = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	if len(Workloads()) != 6 {
+		t.Fatalf("expected 6 workloads")
+	}
+	if w, ok := WorkloadByName("media-streaming"); !ok || w.Name != "media-streaming" {
+		t.Error("WorkloadByName failed")
+	}
+	if _, ok := WorkloadByName("nope"); ok {
+		t.Error("unknown workload resolved")
+	}
+	if len(Mechanisms()) != 7 {
+		t.Error("expected 7 mechanisms")
+	}
+}
+
+func TestStandalonePredictor(t *testing.T) {
+	p := NewPredictor(DefaultPredictorConfig())
+	// Train: a scan touches 12 blocks of region 5, triggered by PC
+	// 0x1000 at offset 0, then the region sees an eviction.
+	base := Addr(5 * 1024)
+	for i := 0; i < 12; i++ {
+		p.Touch(0x1000, (base + Addr(i*64)).Block(), false)
+	}
+	p.Evict(base.Block(), false)
+	// Predict: a miss by the same instruction at a new region's start
+	// must request bulk streaming.
+	if !p.ReadMiss(0x1000, Addr(99*1024).Block()) {
+		t.Error("trained predictor must stream")
+	}
+	if p.ReadMiss(0x2000, Addr(77*1024).Block()) {
+		t.Error("unknown PC must not stream")
+	}
+	st := p.Stats()
+	if st.HighDensityRegions != 1 || st.BHTHits != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestFiguresHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke is slow")
+	}
+	f := NewFigures(FigureOptions{
+		Seed:          3,
+		WarmupCycles:  200_000,
+		MeasureCycles: 300_000,
+		Workloads:     []Workload{WebSearch()},
+	})
+	if got := f.Fig2().String(); got == "" {
+		t.Error("Fig2 empty")
+	}
+	if got := f.Table4().String(); got == "" {
+		t.Error("Table4 empty")
+	}
+}

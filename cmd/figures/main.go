@@ -1,0 +1,67 @@
+// Command figures regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	figures               # everything (Figs. 1-3, 5, 8-13; Tables I, IV)
+//	figures -fig 9        # one figure
+//	figures -fig t4       # Table IV
+//	figures -quick        # shorter simulation windows (faster, noisier)
+//	figures -workloads web-search,data-serving
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bump"
+	"bump/internal/stats"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "which figure: 1,2,3,5,8,9,10,11,12,13,t1,t4,all")
+		quick     = flag.Bool("quick", false, "short simulation windows")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		workloads = flag.String("workloads", "", "comma-separated subset of workloads (default all six)")
+	)
+	flag.Parse()
+
+	opts := bump.FigureOptions{Seed: *seed}
+	if *quick {
+		opts.WarmupCycles = 400_000
+		opts.MeasureCycles = 800_000
+	}
+	if *workloads != "" {
+		for _, name := range strings.Split(*workloads, ",") {
+			w, ok := bump.WorkloadByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "figures: unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			opts.Workloads = append(opts.Workloads, w)
+		}
+	}
+	f := bump.NewFigures(opts)
+
+	gens := map[string]func() *stats.Table{
+		"1": f.Fig1, "2": f.Fig2, "3": f.Fig3, "5": f.Fig5,
+		"8": f.Fig8, "9": f.Fig9, "10": f.Fig10, "11": f.Fig11,
+		"12": f.Fig12, "13": f.Fig13, "t1": f.Table1, "t4": f.Table4,
+	}
+	order := []string{"1", "2", "3", "5", "t1", "8", "9", "10", "11", "12", "13", "t4"}
+
+	if *fig == "all" {
+		for _, k := range order {
+			fmt.Println(gens[k]())
+		}
+		return
+	}
+	g, ok := gens[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "figures: unknown figure %q (use 1,2,3,5,8,9,10,11,12,13,t1,t4,all)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Println(g())
+}

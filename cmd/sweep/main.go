@@ -1,0 +1,105 @@
+// Command sweep runs parameter sweeps and emits CSV for plotting: every
+// (workload, mechanism) pair, the Fig. 11 design grid, or a multi-seed
+// confidence run.
+//
+// Usage:
+//
+//	sweep -mode systems  > systems.csv
+//	sweep -mode design   > design.csv
+//	sweep -mode seeds -workload web-search -n 5 > seeds.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"bump"
+)
+
+func main() {
+	var (
+		mode         = flag.String("mode", "systems", "sweep mode: systems, design, seeds")
+		workloadName = flag.String("workload", "web-search", "workload for -mode seeds")
+		n            = flag.Int("n", 5, "seed count for -mode seeds")
+		warmup       = flag.Uint64("warmup", 700_000, "warmup cycles")
+		measure      = flag.Uint64("measure", 1_500_000, "measurement cycles")
+	)
+	flag.Parse()
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	cfgFor := func(m bump.Mechanism, wl bump.Workload) bump.Config {
+		cfg := bump.DefaultConfig(m, wl)
+		cfg.WarmupCycles = *warmup
+		cfg.MeasureCycles = *measure
+		return cfg
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+	switch *mode {
+	case "systems":
+		w.Write([]string{"workload", "mechanism", "row_hit", "ipc", "epa_nj", "read_coverage", "read_overfetch", "write_coverage"})
+		for _, wl := range bump.Workloads() {
+			for _, m := range bump.Mechanisms() {
+				res, err := bump.Run(cfgFor(m, wl))
+				if err != nil {
+					fatal(err)
+				}
+				w.Write([]string{wl.Name, m.String(), f(res.RowHitRatio()), f(res.IPC()),
+					f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch()), f(res.WriteCoverage())})
+			}
+		}
+	case "design":
+		w.Write([]string{"workload", "region_bytes", "threshold_blocks", "row_hit", "epa_nj", "read_coverage", "read_overfetch"})
+		for _, wl := range bump.Workloads() {
+			for _, shift := range []uint{9, 10, 11} {
+				blocks := uint(1) << (shift - 6)
+				for _, pct := range []uint{25, 50, 75, 100} {
+					cfg := cfgFor(bump.MechBuMP, wl)
+					cfg.BuMP.RegionShift = shift
+					cfg.BuMP.DensityThreshold = blocks * pct / 100
+					if cfg.BuMP.DensityThreshold == 0 {
+						cfg.BuMP.DensityThreshold = 1
+					}
+					res, err := bump.Run(cfg)
+					if err != nil {
+						fatal(err)
+					}
+					w.Write([]string{wl.Name, strconv.Itoa(1 << shift), strconv.Itoa(int(cfg.BuMP.DensityThreshold)),
+						f(res.RowHitRatio()), f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch())})
+				}
+			}
+		}
+	case "seeds":
+		wl, ok := bump.WorkloadByName(*workloadName)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workloadName))
+		}
+		seeds := make([]int64, *n)
+		for i := range seeds {
+			seeds[i] = int64(i + 1)
+		}
+		rs, err := bump.RunSeeds(cfgFor(bump.MechBuMP, wl), seeds)
+		if err != nil {
+			fatal(err)
+		}
+		w.Write([]string{"seed", "row_hit", "ipc", "epa_nj"})
+		for i, r := range rs {
+			w.Write([]string{strconv.FormatInt(seeds[i], 10), f(r.RowHitRatio()), f(r.IPC()), f(r.EPATotal * 1e9)})
+		}
+		a := bump.AggregateResults(rs)
+		w.Write([]string{"mean", f(a.RowHitRatio), f(a.IPC), f(a.EPATotal * 1e9)})
+		w.Write([]string{"ci95", f(a.RowHitRatioCI), f(a.IPCCI), f(a.EPATotalCI * 1e9)})
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	os.Exit(1)
+}

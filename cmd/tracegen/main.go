@@ -1,0 +1,134 @@
+// Command tracegen materialises a workload's per-core access stream to a
+// gob-encoded file, or summarises one. Traces let downstream users feed
+// the same streams into their own cache models or replay them against the
+// standalone predictor.
+//
+// Usage:
+//
+//	tracegen -workload web-search -n 100000 -o trace.gob
+//	tracegen -inspect trace.gob
+//	tracegen -workload media-streaming -n 50000 -summary
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+
+	"bump"
+	"bump/internal/mem"
+	"bump/internal/stats"
+	"bump/internal/workload"
+)
+
+// Trace is the serialised form.
+type Trace struct {
+	Workload string
+	Core     int
+	Seed     int64
+	Accesses []mem.Access
+}
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "web-search", "workload preset")
+		n            = flag.Int("n", 100000, "accesses to generate")
+		core         = flag.Int("core", 0, "core index (selects the per-core seed)")
+		seed         = flag.Int64("seed", 1, "base seed")
+		out          = flag.String("o", "", "output file (gob); empty = summary only")
+		inspect      = flag.String("inspect", "", "summarise an existing trace file and exit")
+		summary      = flag.Bool("summary", true, "print a trace summary")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var tr Trace
+		if err := gob.NewDecoder(f).Decode(&tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %s core %d seed %d, %d accesses\n", tr.Workload, tr.Core, tr.Seed, len(tr.Accesses))
+		summarise(tr.Accesses)
+		return
+	}
+
+	w, ok := bump.WorkloadByName(*workloadName)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", *workloadName))
+	}
+	gen, err := workload.NewGenerator(w, *seed+int64(*core)*7919)
+	if err != nil {
+		fatal(err)
+	}
+	tr := Trace{Workload: w.Name, Core: *core, Seed: *seed, Accesses: make([]mem.Access, *n)}
+	for i := range tr.Accesses {
+		tr.Accesses[i] = gen.Next()
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := gob.NewEncoder(f).Encode(&tr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d accesses to %s\n", len(tr.Accesses), *out)
+	}
+	if *summary {
+		summarise(tr.Accesses)
+	}
+}
+
+func summarise(accs []mem.Access) {
+	var loads, stores, chained uint64
+	var work uint64
+	pcs := map[mem.PC]bool{}
+	regions := map[mem.RegionAddr]int{}
+	for _, a := range accs {
+		if a.Type == mem.Store {
+			stores++
+		} else {
+			loads++
+		}
+		if a.Chain != 0 {
+			chained++
+		}
+		work += uint64(a.Work)
+		pcs[a.PC] = true
+		regions[a.Addr.Region(mem.DefaultRegionShift)]++
+	}
+	dense := 0
+	blocks := map[mem.RegionAddr]map[mem.BlockAddr]bool{}
+	for _, a := range accs {
+		r := a.Addr.Region(mem.DefaultRegionShift)
+		if blocks[r] == nil {
+			blocks[r] = map[mem.BlockAddr]bool{}
+		}
+		blocks[r][a.Addr.Block()] = true
+	}
+	for _, bs := range blocks {
+		if len(bs) >= 8 {
+			dense++
+		}
+	}
+	t := stats.NewTable("Trace summary", "metric", "value")
+	t.AddRow("accesses", fmt.Sprintf("%d (%d loads / %d stores)", len(accs), loads, stores))
+	t.AddRow("dependent (chained)", fmt.Sprintf("%.1f%%", 100*float64(chained)/float64(len(accs))))
+	t.AddRow("mean work gap", fmt.Sprintf("%.1f instructions", float64(work)/float64(len(accs))))
+	t.AddRow("distinct PCs", fmt.Sprintf("%d", len(pcs)))
+	t.AddRow("distinct 1KB regions", fmt.Sprintf("%d", len(regions)))
+	t.AddRow("high-density regions (>=8 blocks)", fmt.Sprintf("%d (%.1f%%)", dense, 100*float64(dense)/float64(len(blocks))))
+	fmt.Println(t)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

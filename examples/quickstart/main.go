@@ -1,0 +1,42 @@
+// Quickstart: simulate the paper's headline comparison on one workload —
+// the open-row baseline versus BuMP — and print the metrics the paper
+// leads with: DRAM row-buffer hit ratio, memory energy per access, and
+// system throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bump"
+)
+
+func main() {
+	w := bump.WebSearch()
+
+	baseCfg := bump.DefaultConfig(bump.MechBaseOpen, w)
+	bumpCfg := bump.DefaultConfig(bump.MechBuMP, w)
+
+	base, err := bump.Run(baseCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bump.Run(bumpCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s, 16-core CMP, 2x DDR3-1600\n\n", w.Name)
+	fmt.Printf("%-28s %12s %12s\n", "metric", "base-open", "bump")
+	fmt.Printf("%-28s %11.1f%% %11.1f%%\n", "row-buffer hit ratio",
+		100*base.RowHitRatio(), 100*res.RowHitRatio())
+	fmt.Printf("%-28s %10.1fnJ %10.1fnJ\n", "memory energy per access",
+		base.EPATotal*1e9, res.EPATotal*1e9)
+	fmt.Printf("%-28s %12.2f %12.2f\n", "throughput (aggregate IPC)",
+		base.IPC(), res.IPC())
+	fmt.Printf("\nBuMP: %+.1f%% energy per access, %+.1f%% throughput\n",
+		100*(res.EPATotal/base.EPATotal-1),
+		100*(res.IPC()/base.IPC()-1))
+	fmt.Printf("read coverage %.1f%% (overfetch %.1f%%), write coverage %.1f%%\n",
+		100*res.ReadCoverage(), 100*res.ReadOverfetch(), 100*res.WriteCoverage())
+}

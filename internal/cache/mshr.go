@@ -1,0 +1,85 @@
+package cache
+
+import "bump/internal/mem"
+
+// MSHR is one miss-status holding register: an outstanding fill and the
+// demand accesses coalesced onto it.
+type MSHR struct {
+	Block mem.BlockAddr
+	// Demand reports whether any waiter is a demand access (a pure
+	// prefetch MSHR can be upgraded when a demand access merges).
+	Demand bool
+	// Waiters are opaque tokens (the simulator stores continuation IDs).
+	Waiters []uint64
+}
+
+// MSHRTable tracks outstanding misses with a bounded number of entries,
+// modelling the 10 L1-D MSHRs of Table II and the LLC's fill queue.
+type MSHRTable struct {
+	cap     int
+	entries map[mem.BlockAddr]*MSHR
+
+	// Allocs counts successful allocations; Merges counts accesses
+	// coalesced onto an existing entry; Stalls counts rejected
+	// allocations (structure full).
+	Allocs uint64
+	Merges uint64
+	Stalls uint64
+}
+
+// NewMSHRTable creates a table with the given capacity.
+func NewMSHRTable(capacity int) *MSHRTable {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHRTable{cap: capacity, entries: make(map[mem.BlockAddr]*MSHR, capacity)}
+}
+
+// Cap returns the capacity.
+func (t *MSHRTable) Cap() int { return t.cap }
+
+// Len returns the number of outstanding entries.
+func (t *MSHRTable) Len() int { return len(t.entries) }
+
+// Full reports whether a new allocation would be rejected.
+func (t *MSHRTable) Full() bool { return len(t.entries) >= t.cap }
+
+// Lookup returns the outstanding entry for block b, if any.
+func (t *MSHRTable) Lookup(b mem.BlockAddr) (*MSHR, bool) {
+	e, ok := t.entries[b]
+	return e, ok
+}
+
+// Allocate records a miss on block b. If an entry already exists the
+// request merges onto it and merged == true. If the table is full and no
+// entry exists, ok == false and the caller must retry later.
+func (t *MSHRTable) Allocate(b mem.BlockAddr, demand bool, waiter uint64) (m *MSHR, merged, ok bool) {
+	if e, exists := t.entries[b]; exists {
+		t.Merges++
+		e.Demand = e.Demand || demand
+		e.Waiters = append(e.Waiters, waiter)
+		return e, true, true
+	}
+	if t.Full() {
+		t.Stalls++
+		return nil, false, false
+	}
+	e := &MSHR{Block: b, Demand: demand}
+	if waiter != 0 {
+		e.Waiters = append(e.Waiters, waiter)
+	}
+	t.entries[b] = e
+	t.Allocs++
+	return e, false, true
+}
+
+// Complete removes and returns the entry for block b when its fill
+// arrives. Returns false if no entry is outstanding.
+func (t *MSHRTable) Complete(b mem.BlockAddr) (*MSHR, bool) {
+	e, ok := t.entries[b]
+	if !ok {
+		return nil, false
+	}
+	delete(t.entries, b)
+	return e, true
+}

@@ -1,0 +1,392 @@
+// Package dram models DDR3 main memory at the bank/rank/channel level:
+// row-buffer state, command timing constraints (tRCD, tRP, tCAS, tRAS,
+// tWR, tWTR, tRTP, tRRD, tFAW), data-bus occupancy, and the event counts
+// the energy model consumes (activations, read/write bursts, busy time).
+//
+// The model is transaction-level with exact bank-state timing: the memory
+// controller picks a transaction and calls Access, which computes when the
+// needed commands (PRE, ACT, RD/WR) can legally issue given the bank's and
+// rank's history, advances the state, and returns the data completion
+// time. There is no per-cycle ticking, so simulation cost is O(1) per
+// transaction. All times in this package are in *memory* clock cycles
+// (800MHz for DDR3-1600); the controller converts to CPU cycles.
+package dram
+
+import (
+	"fmt"
+
+	"bump/internal/mem"
+)
+
+// Timing holds the DDR3 command timing constraints in memory cycles.
+// Values for DDR3-1600 follow the paper's Table II.
+type Timing struct {
+	TCAS   int64 // read command to first data
+	TRCD   int64 // activate to read/write
+	TRP    int64 // precharge to activate
+	TRAS   int64 // activate to precharge (minimum row-open time)
+	TRC    int64 // activate to activate, same bank
+	TWR    int64 // end of write data to precharge
+	TWTR   int64 // end of write data to read command, same rank
+	TRTP   int64 // read command to precharge
+	TRRD   int64 // activate to activate, same rank
+	TFAW   int64 // window for at most four activates per rank
+	TCWL   int64 // write command to first data
+	TBurst int64 // data burst duration (BL8 = 4 memory cycles)
+}
+
+// DDR3_1600 returns the DDR3-1600 timing used throughout the paper
+// (Table II: 11-11-11-28, tRC 39, tWR 12, tWTR 6, tRTP 6, tRRD 5, tFAW 24).
+func DDR3_1600() Timing {
+	return Timing{
+		TCAS: 11, TRCD: 11, TRP: 11, TRAS: 28, TRC: 39,
+		TWR: 12, TWTR: 6, TRTP: 6, TRRD: 5, TFAW: 24,
+		TCWL: 8, TBurst: 4,
+	}
+}
+
+// Config describes the memory organisation (Table II: 2 DDR3-1600
+// channels, 4 ranks per channel, 8 banks per rank, 8KB row buffer).
+type Config struct {
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	RowBytes        int
+	Timing          Timing
+
+	// TREFI is the refresh interval in memory cycles (DDR3: 7.8us =
+	// 6240 cycles at 800MHz); TRFC is the refresh cycle time (2Gbit
+	// devices: 160ns = 128 cycles). A refresh closes every bank of the
+	// rank and blocks it for TRFC. Zero TREFI disables refresh.
+	TREFI int64
+	TRFC  int64
+}
+
+// DefaultConfig returns the paper's memory organisation.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        2,
+		RanksPerChannel: 4,
+		BanksPerRank:    8,
+		RowBytes:        8192,
+		Timing:          DDR3_1600(),
+		TREFI:           6240,
+		TRFC:            128,
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.Channels <= 0 || c.RanksPerChannel <= 0 || c.BanksPerRank <= 0 {
+		return fmt.Errorf("dram: organisation must be positive, got %d/%d/%d", c.Channels, c.RanksPerChannel, c.BanksPerRank)
+	}
+	if c.RowBytes < mem.BlockBytes || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("dram: row size %d must be a power-of-two multiple of the block size", c.RowBytes)
+	}
+	return nil
+}
+
+// Loc is a fully decoded DRAM location.
+type Loc struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     uint64
+}
+
+// RowOutcome classifies how an access found the row buffer (Fig. 2 and
+// Table IV report the hit ratio over these outcomes).
+type RowOutcome uint8
+
+const (
+	// RowHit: the bank had the target row open.
+	RowHit RowOutcome = iota
+	// RowClosed: the bank was precharged (activation required).
+	RowClosed
+	// RowConflict: another row was open (precharge + activation).
+	RowConflict
+)
+
+func (o RowOutcome) String() string {
+	switch o {
+	case RowHit:
+		return "hit"
+	case RowClosed:
+		return "closed"
+	default:
+		return "conflict"
+	}
+}
+
+type bank struct {
+	open     bool
+	row      uint64
+	actReady int64 // earliest next ACT (tRC from previous ACT, tRP after PRE)
+	rwReady  int64 // earliest next RD/WR (tRCD after ACT)
+	preReady int64 // earliest next PRE (tRAS, tWR, tRTP constraints)
+}
+
+type rank struct {
+	lastAct  int64    // for tRRD
+	actTimes [4]int64 // rolling window for tFAW
+	actIdx   int
+	// wrDataEnd is the end of the most recent write data burst, for tWTR.
+	wrDataEnd int64
+	// refDone is the end of the most recent refresh; refCount is the
+	// number of refreshes performed so far (refresh k occurs at
+	// k*TREFI).
+	refDone  int64
+	refCount int64
+}
+
+type channel struct {
+	banks []bank
+	ranks []rank
+	// dataFree is the first cycle the shared data bus is free.
+	dataFree int64
+}
+
+// Stats carries the DRAM event counts the energy model needs.
+type Stats struct {
+	Activations  uint64
+	ReadBursts   uint64
+	WriteBursts  uint64
+	RowHits      uint64
+	RowClosed    uint64
+	RowConflicts uint64
+	// Refreshes counts rank refresh operations performed.
+	Refreshes uint64
+	// BusyCycles approximates rank-active time (between ACT and PRE) for
+	// active-standby background power. We charge TRAS per activation.
+	BusyCycles uint64
+}
+
+// Accesses returns the total read+write bursts.
+func (s Stats) Accesses() uint64 { return s.ReadBursts + s.WriteBursts }
+
+// HitRatio returns the row-buffer hit ratio.
+func (s Stats) HitRatio() float64 {
+	total := s.RowHits + s.RowClosed + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+// DRAM is the device-level memory model.
+type DRAM struct {
+	cfg      Config
+	channels []channel
+	stats    Stats
+}
+
+// New builds a DRAM model from cfg; panics on invalid configuration
+// (construction happens at simulator setup, not in request paths).
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DRAM{cfg: cfg, channels: make([]channel, cfg.Channels)}
+	// farPast keeps initial rank history from imposing tRRD/tFAW/tWTR on
+	// the first accesses.
+	const farPast = int64(-1) << 40
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, cfg.RanksPerChannel*cfg.BanksPerRank)
+		d.channels[i].ranks = make([]rank, cfg.RanksPerChannel)
+		for r := range d.channels[i].ranks {
+			rk := &d.channels[i].ranks[r]
+			rk.lastAct = farPast
+			rk.wrDataEnd = farPast
+			for j := range rk.actTimes {
+				rk.actTimes[j] = farPast
+			}
+		}
+	}
+	return d
+}
+
+// Config returns the configuration.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Stats returns a copy of the accumulated event counts.
+func (d *DRAM) Stats() Stats { return d.stats }
+
+// Banks returns the total bank count across all channels.
+func (d *DRAM) Banks() int {
+	return d.cfg.Channels * d.cfg.RanksPerChannel * d.cfg.BanksPerRank
+}
+
+func (d *DRAM) bankOf(loc Loc) (*channel, *rank, *bank) {
+	ch := &d.channels[loc.Channel]
+	return ch, &ch.ranks[loc.Rank], &ch.banks[loc.Rank*d.cfg.BanksPerRank+loc.Bank]
+}
+
+// Outcome reports, without side effects, how an access to loc at this
+// moment would find the row buffer. The FR-FCFS scheduler uses it to
+// prioritise row hits.
+func (d *DRAM) Outcome(loc Loc) RowOutcome {
+	_, _, b := d.bankOf(loc)
+	switch {
+	case b.open && b.row == loc.Row:
+		return RowHit
+	case b.open:
+		return RowConflict
+	default:
+		return RowClosed
+	}
+}
+
+// OpenRow returns the open row of loc's bank, if any.
+func (d *DRAM) OpenRow(loc Loc) (row uint64, open bool) {
+	_, _, b := d.bankOf(loc)
+	return b.row, b.open
+}
+
+func max64(vals ...int64) int64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// activate issues ACT at the earliest legal time >= at and returns the
+// issue time.
+func (d *DRAM) activate(ch *channel, rk *rank, b *bank, loc Loc, at int64) int64 {
+	t := d.cfg.Timing
+	// tFAW: at most 4 ACTs per rank in any TFAW window.
+	fawReady := rk.actTimes[rk.actIdx] + t.TFAW
+	actAt := max64(at, b.actReady, rk.lastAct+t.TRRD, fawReady)
+	rk.actTimes[rk.actIdx] = actAt
+	rk.actIdx = (rk.actIdx + 1) % len(rk.actTimes)
+	rk.lastAct = actAt
+	b.open = true
+	b.row = loc.Row
+	b.actReady = actAt + t.TRC
+	b.rwReady = actAt + t.TRCD
+	b.preReady = actAt + t.TRAS
+	d.stats.Activations++
+	d.stats.BusyCycles += uint64(t.TRAS)
+	return actAt
+}
+
+// refresh retires any refreshes due at or before `now` on loc's rank:
+// all banks of the rank are precharged and the rank is unavailable for
+// TRFC. Refreshes the simulator "slept through" are coalesced.
+func (d *DRAM) refresh(ch *channel, rk *rank, loc Loc, now int64) {
+	if d.cfg.TREFI <= 0 {
+		return
+	}
+	due := now / d.cfg.TREFI
+	if due <= rk.refCount {
+		return
+	}
+	// Close every bank of the rank; the refresh starts when the rank's
+	// in-progress row activity allows and occupies TRFC.
+	start := now
+	base := loc.Rank * d.cfg.BanksPerRank
+	for i := 0; i < d.cfg.BanksPerRank; i++ {
+		bk := &ch.banks[base+i]
+		if bk.open {
+			preAt := max64(start, bk.preReady)
+			bk.open = false
+			bk.actReady = max64(bk.actReady, preAt+d.cfg.Timing.TRP)
+			if bk.actReady > start {
+				start = bk.actReady
+			}
+		}
+	}
+	rk.refDone = start + d.cfg.TRFC
+	// Catch up the counter in one step: long-idle ranks do not replay
+	// every missed refresh individually.
+	d.stats.Refreshes += uint64(due - rk.refCount)
+	rk.refCount = due
+	for i := 0; i < d.cfg.BanksPerRank; i++ {
+		bk := &ch.banks[base+i]
+		bk.actReady = max64(bk.actReady, rk.refDone)
+	}
+}
+
+// Access performs one read or write burst to loc, arriving at memory-cycle
+// `now`. It returns the cycle at which the data transfer completes and the
+// row-buffer outcome. When autoPrecharge is true the bank is closed after
+// the access (close-row policy); otherwise the row stays open.
+func (d *DRAM) Access(op mem.MemOp, loc Loc, now int64, autoPrecharge bool) (done int64, outcome RowOutcome) {
+	t := d.cfg.Timing
+	ch, rk, b := d.bankOf(loc)
+
+	d.refresh(ch, rk, loc, now)
+	outcome = d.Outcome(loc)
+	switch outcome {
+	case RowHit:
+		d.stats.RowHits++
+	case RowClosed:
+		d.stats.RowClosed++
+		d.activate(ch, rk, b, loc, now)
+	case RowConflict:
+		d.stats.RowConflicts++
+		preAt := max64(now, b.preReady)
+		b.open = false
+		b.actReady = max64(b.actReady, preAt+t.TRP)
+		d.activate(ch, rk, b, loc, preAt+t.TRP)
+	}
+
+	// Earliest command issue given bank readiness.
+	cmdAt := max64(now, b.rwReady)
+	if op == mem.MemRead {
+		// tWTR: read command must wait after the end of write data on
+		// the same rank.
+		cmdAt = max64(cmdAt, rk.wrDataEnd+t.TWTR)
+	}
+	// Data bus: the burst [dataStart, dataStart+TBurst) must not overlap
+	// the previous burst on this channel.
+	lat := t.TCAS
+	if op == mem.MemWrite {
+		lat = t.TCWL
+	}
+	if cmdAt+lat < ch.dataFree {
+		cmdAt = ch.dataFree - lat
+	}
+	dataStart := cmdAt + lat
+	dataEnd := dataStart + t.TBurst
+	ch.dataFree = dataEnd
+
+	if op == mem.MemRead {
+		d.stats.ReadBursts++
+		// A precharge after a read must respect tRTP.
+		b.preReady = max64(b.preReady, cmdAt+t.TRTP)
+	} else {
+		d.stats.WriteBursts++
+		rk.wrDataEnd = dataEnd
+		// A precharge after a write must respect write recovery.
+		b.preReady = max64(b.preReady, dataEnd+t.TWR)
+	}
+	// Back-to-back column commands to the same bank are limited by the
+	// data bus, which ch.dataFree already enforces.
+	b.rwReady = max64(b.rwReady, cmdAt+t.TBurst)
+
+	if autoPrecharge {
+		preAt := max64(b.preReady, cmdAt)
+		b.open = false
+		b.actReady = max64(b.actReady, preAt+t.TRP)
+	}
+	return dataEnd, outcome
+}
+
+// PrechargeAll force-closes every bank (used between measurement phases).
+func (d *DRAM) PrechargeAll(now int64) {
+	t := d.cfg.Timing
+	for c := range d.channels {
+		ch := &d.channels[c]
+		for i := range ch.banks {
+			b := &ch.banks[i]
+			if b.open {
+				preAt := max64(now, b.preReady)
+				b.open = false
+				b.actReady = max64(b.actReady, preAt+t.TRP)
+			}
+		}
+	}
+}

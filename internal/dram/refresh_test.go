@@ -1,0 +1,81 @@
+package dram
+
+import (
+	"testing"
+
+	"bump/internal/mem"
+)
+
+func TestRefreshDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TREFI = 0
+	d := New(cfg)
+	d.Access(mem.MemRead, Loc{Row: 1}, 100_000, false)
+	if d.Stats().Refreshes != 0 {
+		t.Error("refresh disabled must never refresh")
+	}
+}
+
+func TestRefreshClosesOpenRows(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	loc := Loc{Row: 5}
+	d.Access(mem.MemRead, loc, 0, false)
+	if _, open := d.OpenRow(loc); !open {
+		t.Fatal("row should be open")
+	}
+	// Next access arrives after a refresh interval: the refresh must
+	// have closed the row, so the access re-activates.
+	_, outcome := d.Access(mem.MemRead, loc, cfg.TREFI+1, false)
+	if outcome != RowClosed {
+		t.Errorf("outcome after refresh = %v, want closed", outcome)
+	}
+	if d.Stats().Refreshes != 1 {
+		t.Errorf("refreshes = %d, want 1", d.Stats().Refreshes)
+	}
+}
+
+func TestRefreshBlocksBankForTRFC(t *testing.T) {
+	cfg := DefaultConfig()
+	tm := cfg.Timing
+	d := New(cfg)
+	// Arrive exactly when a refresh is due on an idle rank: the
+	// activation must wait TRFC.
+	now := cfg.TREFI
+	done, outcome := d.Access(mem.MemRead, Loc{Row: 1}, now, false)
+	if outcome != RowClosed {
+		t.Fatalf("outcome = %v", outcome)
+	}
+	min := now + cfg.TRFC + tm.TRCD + tm.TCAS + tm.TBurst
+	if done < min {
+		t.Errorf("done = %d, want >= %d (tRFC honoured)", done, min)
+	}
+}
+
+func TestRefreshCatchUpCoalesces(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	// An access after 10 intervals coalesces the missed refreshes (the
+	// counter advances) without replaying each one.
+	d.Access(mem.MemRead, Loc{Row: 1}, 10*cfg.TREFI+5, false)
+	if got := d.Stats().Refreshes; got != 10 {
+		t.Errorf("refreshes = %d, want 10 (coalesced catch-up)", got)
+	}
+	// The next interval triggers exactly one more.
+	d.Access(mem.MemRead, Loc{Row: 1}, 11*cfg.TREFI+5, false)
+	if got := d.Stats().Refreshes; got != 11 {
+		t.Errorf("refreshes = %d, want 11", got)
+	}
+}
+
+func TestRefreshPerRank(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	now := cfg.TREFI + 1
+	d.Access(mem.MemRead, Loc{Rank: 0, Row: 1}, now, false)
+	d.Access(mem.MemRead, Loc{Rank: 1, Row: 1}, now, false)
+	// Each touched rank refreshes independently.
+	if got := d.Stats().Refreshes; got != 2 {
+		t.Errorf("refreshes = %d, want 2 (one per touched rank)", got)
+	}
+}

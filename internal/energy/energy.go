@@ -1,0 +1,203 @@
+// Package energy implements the paper's energy-modelling framework
+// (Section V.A, Table III): event-based dynamic energy plus time-based
+// static power for cores, LLC, NOC, memory controller and DRAM.
+//
+// The paper's headline metrics come straight from this model:
+//   - server energy breakdown (Fig. 1),
+//   - memory energy per access split into Activation and Burst/IO
+//     (Fig. 9, 11, 13),
+//   - LLC/NOC energy overheads (Fig. 12).
+package energy
+
+// Params holds the per-event energies and static powers of Table III.
+// Energies are joules; powers are watts.
+type Params struct {
+	CPUFreqHz float64
+
+	// Core: dynamic power scales with IPC relative to the reference
+	// (peak) IPC of the 3-way core, following the paper's methodology of
+	// scaling published dynamic-power measurements by the IPC ratio.
+	// CoreIdleFrac is the fraction of peak dynamic power burned even
+	// when stalled (clocking, fetch, speculation) — a stalled OoO core
+	// is not power-gated.
+	CorePeakDynamicW float64
+	CorePeakIPC      float64
+	CoreIdleFrac     float64
+	CoreLeakageW     float64
+
+	// LLC per-operation energies and total leakage.
+	LLCReadJ    float64
+	LLCWriteJ   float64
+	LLCLeakageW float64
+
+	// NOC: per-message energies calibrated so peak traffic matches the
+	// 55mW peak dynamic power; constant leakage.
+	NOCControlJ float64
+	NOCDataJ    float64
+	NOCPCExtraJ float64
+	NOCLeakageW float64
+
+	// Memory controller: dynamic power at the reference bandwidth,
+	// charged per byte transferred.
+	MCDynamicWAtRef float64
+	MCRefBandwidth  float64 // bytes/second
+
+	// DRAM (per Table III, per 2GB rank and 64-byte transfer).
+	DRAMActivationJ float64
+	DRAMReadJ       float64
+	DRAMWriteJ      float64
+	DRAMReadIOJ     float64
+	DRAMWriteIOJ    float64
+	DRAMBackgroundW float64 // per rank
+	Ranks           int
+}
+
+// DefaultParams returns Table III's values for the simulated 16-core CMP
+// with 2 channels x 4 ranks.
+func DefaultParams() Params {
+	return Params{
+		CPUFreqHz:        2.5e9,
+		CorePeakDynamicW: 0.700,
+		CorePeakIPC:      1.5,
+		CoreIdleFrac:     0.35,
+		CoreLeakageW:     0.070,
+		LLCReadJ:         0.63e-9,
+		LLCWriteJ:        0.70e-9,
+		LLCLeakageW:      0.750,
+		NOCControlJ:      0.05e-9,
+		NOCDataJ:         0.20e-9,
+		NOCPCExtraJ:      0.05e-9,
+		NOCLeakageW:      0.030,
+		MCDynamicWAtRef:  0.250,
+		MCRefBandwidth:   12.8e9,
+		DRAMActivationJ:  29.7e-9,
+		DRAMReadJ:        8.1e-9,
+		DRAMWriteJ:       8.4e-9,
+		// Read termination weighted over ranks: 1/4 of reads terminate
+		// on the target rank (1.5nJ), 3/4 on the other ranks of the
+		// channel (RRead, 3.8nJ).
+		DRAMReadIOJ:     3.2e-9,
+		DRAMWriteIOJ:    4.6e-9,
+		DRAMBackgroundW: 0.655, // midpoint of the 540-770mW range
+		Ranks:           8,
+	}
+}
+
+// Inputs are the event counts and elapsed time of one measured run.
+type Inputs struct {
+	Cycles       uint64
+	Cores        int
+	Instructions uint64 // committed instructions across all cores
+
+	LLCReads  uint64 // lookups serviced (reads/probes that return data)
+	LLCWrites uint64 // fills + write updates
+
+	NOCControl uint64
+	NOCData    uint64
+	NOCPC      uint64
+
+	DRAMActivations uint64
+	DRAMReads       uint64
+	DRAMWrites      uint64
+}
+
+// Breakdown is the energy of one run, in joules, split the way the
+// paper's figures need.
+type Breakdown struct {
+	CoreDynamic float64
+	CoreLeakage float64
+	LLCDynamic  float64
+	LLCLeakage  float64
+	NOCDynamic  float64
+	NOCLeakage  float64
+	MCDynamic   float64
+
+	DRAMActivation float64
+	DRAMBurst      float64
+	DRAMIO         float64
+	DRAMBackground float64
+}
+
+// Memory returns total DRAM energy (Fig. 1's "Memory" component).
+func (b Breakdown) Memory() float64 {
+	return b.DRAMActivation + b.DRAMBurst + b.DRAMIO + b.DRAMBackground
+}
+
+// MemoryDynamic returns DRAM energy excluding background (the per-access
+// energy the paper optimises in Fig. 9/11/13: Activation + Burst/IO).
+func (b Breakdown) MemoryDynamic() float64 {
+	return b.DRAMActivation + b.DRAMBurst + b.DRAMIO
+}
+
+// BurstIO returns the Burst + I/O component shown in Fig. 9/13.
+func (b Breakdown) BurstIO() float64 { return b.DRAMBurst + b.DRAMIO }
+
+// Cores returns total core energy.
+func (b Breakdown) Cores() float64 { return b.CoreDynamic + b.CoreLeakage }
+
+// LLC returns total LLC energy.
+func (b Breakdown) LLC() float64 { return b.LLCDynamic + b.LLCLeakage }
+
+// NOC returns total NOC energy.
+func (b Breakdown) NOC() float64 { return b.NOCDynamic + b.NOCLeakage }
+
+// Total returns whole-server energy.
+func (b Breakdown) Total() float64 {
+	return b.Cores() + b.LLC() + b.NOC() + b.MCDynamic + b.Memory()
+}
+
+// Model evaluates Params over run Inputs.
+type Model struct {
+	P Params
+}
+
+// NewModel returns a model over the default parameters.
+func NewModel() Model { return Model{P: DefaultParams()} }
+
+// Compute turns event counts into the energy breakdown.
+func (m Model) Compute(in Inputs) Breakdown {
+	p := m.P
+	seconds := float64(in.Cycles) / p.CPUFreqHz
+
+	var b Breakdown
+
+	// Cores: dynamic scaled by achieved IPC over the reference IPC,
+	// with an idle-activity floor.
+	if in.Cycles > 0 && in.Cores > 0 {
+		ipcPerCore := float64(in.Instructions) / float64(in.Cycles) / float64(in.Cores)
+		util := p.CoreIdleFrac + (1-p.CoreIdleFrac)*ipcPerCore/p.CorePeakIPC
+		if util > 1 {
+			util = 1
+		}
+		b.CoreDynamic = p.CorePeakDynamicW * util * seconds * float64(in.Cores)
+	}
+	b.CoreLeakage = p.CoreLeakageW * seconds * float64(in.Cores)
+
+	b.LLCDynamic = float64(in.LLCReads)*p.LLCReadJ + float64(in.LLCWrites)*p.LLCWriteJ
+	b.LLCLeakage = p.LLCLeakageW * seconds
+
+	b.NOCDynamic = float64(in.NOCControl)*p.NOCControlJ +
+		float64(in.NOCData)*p.NOCDataJ +
+		float64(in.NOCPC)*p.NOCPCExtraJ
+	b.NOCLeakage = p.NOCLeakageW * seconds
+
+	bytes := float64(in.DRAMReads+in.DRAMWrites) * 64
+	b.MCDynamic = p.MCDynamicWAtRef * (bytes / p.MCRefBandwidth) // W * s at ref BW
+
+	b.DRAMActivation = float64(in.DRAMActivations) * p.DRAMActivationJ
+	b.DRAMBurst = float64(in.DRAMReads)*p.DRAMReadJ + float64(in.DRAMWrites)*p.DRAMWriteJ
+	b.DRAMIO = float64(in.DRAMReads)*p.DRAMReadIOJ + float64(in.DRAMWrites)*p.DRAMWriteIOJ
+	b.DRAMBackground = p.DRAMBackgroundW * float64(p.Ranks) * seconds
+	return b
+}
+
+// PerAccess returns the paper's "memory energy per access" metric:
+// dynamic DRAM energy (activation + burst + I/O) divided by DRAM accesses.
+func (m Model) PerAccess(in Inputs) (total, activation, burstIO float64) {
+	b := m.Compute(in)
+	n := float64(in.DRAMReads + in.DRAMWrites)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return b.MemoryDynamic() / n, b.DRAMActivation / n, b.BurstIO() / n
+}

@@ -1,0 +1,177 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Abs(b)+1e-18 }
+
+func TestZeroInputs(t *testing.T) {
+	m := NewModel()
+	b := m.Compute(Inputs{})
+	if b.Total() != 0 {
+		t.Errorf("zero inputs must give zero energy, got %v", b.Total())
+	}
+	tot, act, bio := m.PerAccess(Inputs{})
+	if tot != 0 || act != 0 || bio != 0 {
+		t.Error("PerAccess on zero accesses must be zero")
+	}
+}
+
+func TestActivationIsRoughly3xBurst(t *testing.T) {
+	// Section II.B: "a page activation consumes 3x more energy than a
+	// transfer". Check the Table III constants preserve that ratio.
+	p := DefaultParams()
+	ratio := p.DRAMActivationJ / (p.DRAMReadJ + p.DRAMReadIOJ)
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("activation/transfer ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestDRAMEnergyAccounting(t *testing.T) {
+	m := NewModel()
+	in := Inputs{
+		Cycles:          2_500_000, // 1ms at 2.5GHz
+		DRAMActivations: 100,
+		DRAMReads:       300,
+		DRAMWrites:      100,
+	}
+	b := m.Compute(in)
+	p := m.P
+	if !almost(b.DRAMActivation, 100*p.DRAMActivationJ, 1e-12) {
+		t.Errorf("activation energy = %v", b.DRAMActivation)
+	}
+	wantBurst := 300*p.DRAMReadJ + 100*p.DRAMWriteJ
+	if !almost(b.DRAMBurst, wantBurst, 1e-12) {
+		t.Errorf("burst = %v want %v", b.DRAMBurst, wantBurst)
+	}
+	wantIO := 300*p.DRAMReadIOJ + 100*p.DRAMWriteIOJ
+	if !almost(b.DRAMIO, wantIO, 1e-12) {
+		t.Errorf("io = %v want %v", b.DRAMIO, wantIO)
+	}
+	// Background: 8 ranks * 0.655W * 1ms.
+	wantBkg := 8 * 0.655 * 1e-3
+	if !almost(b.DRAMBackground, wantBkg, 1e-9) {
+		t.Errorf("background = %v want %v", b.DRAMBackground, wantBkg)
+	}
+	if !almost(b.Memory(), b.DRAMActivation+b.DRAMBurst+b.DRAMIO+b.DRAMBackground, 1e-12) {
+		t.Error("Memory() must sum components")
+	}
+}
+
+func TestPerAccess(t *testing.T) {
+	m := NewModel()
+	in := Inputs{DRAMActivations: 50, DRAMReads: 100}
+	tot, act, bio := m.PerAccess(in)
+	p := m.P
+	wantAct := 50 * p.DRAMActivationJ / 100
+	wantBio := p.DRAMReadJ + p.DRAMReadIOJ
+	if !almost(act, wantAct, 1e-12) || !almost(bio, wantBio, 1e-12) {
+		t.Errorf("act=%v bio=%v", act, bio)
+	}
+	if !almost(tot, act+bio, 1e-12) {
+		t.Error("total must be act+burstio")
+	}
+}
+
+func TestCoreDynamicScalesWithIPC(t *testing.T) {
+	m := NewModel()
+	p := m.P
+	base := Inputs{Cycles: 1_000_000, Cores: 16, Instructions: 16_000_000} // IPC 1/core
+	half := base
+	half.Instructions = 8_000_000 // IPC 0.5/core
+	bb, hb := m.Compute(base), m.Compute(half)
+	if hb.CoreDynamic >= bb.CoreDynamic {
+		t.Errorf("core dynamic must grow with IPC: %v vs %v", hb.CoreDynamic, bb.CoreDynamic)
+	}
+	// The idle floor keeps a stalled core burning CoreIdleFrac of peak.
+	idle := base
+	idle.Instructions = 0
+	ib := m.Compute(idle)
+	seconds := float64(idle.Cycles) / p.CPUFreqHz
+	wantIdle := p.CorePeakDynamicW * p.CoreIdleFrac * seconds * 16
+	if !almost(ib.CoreDynamic, wantIdle, 1e-9) {
+		t.Errorf("idle dynamic = %v, want %v", ib.CoreDynamic, wantIdle)
+	}
+	// Utilisation saturates at the reference IPC.
+	over := base
+	over.Instructions = 16 * 10_000_000 // IPC 10 > reference
+	ob := m.Compute(over)
+	wantPeak := p.CorePeakDynamicW * seconds * 16
+	if !almost(ob.CoreDynamic, wantPeak, 1e-9) {
+		t.Errorf("saturated dynamic = %v, want %v", ob.CoreDynamic, wantPeak)
+	}
+}
+
+func TestLeakageScalesWithTime(t *testing.T) {
+	m := NewModel()
+	a := m.Compute(Inputs{Cycles: 1000, Cores: 16})
+	b := m.Compute(Inputs{Cycles: 2000, Cores: 16})
+	for _, pair := range [][2]float64{
+		{a.CoreLeakage, b.CoreLeakage},
+		{a.LLCLeakage, b.LLCLeakage},
+		{a.NOCLeakage, b.NOCLeakage},
+		{a.DRAMBackground, b.DRAMBackground},
+	} {
+		if !almost(pair[1], 2*pair[0], 1e-9) {
+			t.Errorf("static energy must double with time: %v -> %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestMemoryDominatesServerEnergy(t *testing.T) {
+	// Fig. 1: memory is 48-62% of server energy for a memory-bound
+	// 16-core server. Sanity-check the constants with representative
+	// activity: 16 cores, IPC ~0.5, ~1 DRAM access per 700 instructions,
+	// 20% row-buffer hit ratio.
+	m := NewModel()
+	cycles := uint64(10_000_000)
+	instr := uint64(16 * 5_000_000)
+	accesses := instr / 700
+	in := Inputs{
+		Cycles:          cycles,
+		Cores:           16,
+		Instructions:    instr,
+		LLCReads:        accesses * 4,
+		LLCWrites:       accesses * 2,
+		NOCControl:      accesses * 4,
+		NOCData:         accesses * 4,
+		DRAMActivations: accesses * 8 / 10,
+		DRAMReads:       accesses * 7 / 10,
+		DRAMWrites:      accesses * 3 / 10,
+	}
+	b := m.Compute(in)
+	frac := b.Memory() / b.Total()
+	if frac < 0.35 || frac > 0.75 {
+		t.Errorf("memory fraction of server energy = %.2f, want roughly 0.48-0.62", frac)
+	}
+}
+
+// Property: energy is monotone — adding events never decreases any
+// component or the total.
+func TestMonotoneProperty(t *testing.T) {
+	m := NewModel()
+	f := func(c1, c2, a1, a2, r1, r2, w1, w2 uint32) bool {
+		in1 := Inputs{
+			Cycles: uint64(c1), Cores: 16, Instructions: uint64(c1),
+			DRAMActivations: uint64(a1), DRAMReads: uint64(r1), DRAMWrites: uint64(w1),
+		}
+		in2 := Inputs{
+			Cycles: uint64(c1) + uint64(c2), Cores: 16, Instructions: uint64(c1),
+			DRAMActivations: uint64(a1) + uint64(a2),
+			DRAMReads:       uint64(r1) + uint64(r2),
+			DRAMWrites:      uint64(w1) + uint64(w2),
+		}
+		b1, b2 := m.Compute(in1), m.Compute(in2)
+		return b2.DRAMActivation >= b1.DRAMActivation &&
+			b2.DRAMBurst >= b1.DRAMBurst &&
+			b2.DRAMIO >= b1.DRAMIO &&
+			b2.DRAMBackground >= b1.DRAMBackground &&
+			b2.Memory() >= b1.Memory()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

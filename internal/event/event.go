@@ -1,0 +1,103 @@
+// Package event provides the discrete-event engine that drives the
+// simulator. Components schedule callbacks at absolute or relative CPU
+// cycles; the engine runs them in time order (FIFO within a cycle, in
+// scheduling order, so component interactions are deterministic).
+package event
+
+import "container/heap"
+
+type item struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+type queue []item
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *queue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event scheduler over a 64-bit CPU-cycle clock.
+type Engine struct {
+	now uint64
+	seq uint64
+	q   queue
+	// Executed counts dispatched events (useful for run-away detection
+	// in tests).
+	Executed uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past runs
+// the event at the current cycle (never before: time is monotonic).
+func (e *Engine) At(t uint64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.q, item{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// Step dispatches the next event, advancing the clock to its time.
+// Returns false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.q).(item)
+	e.now = it.at
+	e.Executed++
+	it.fn()
+	return true
+}
+
+// Run dispatches events until the queue is empty or the clock would pass
+// `until`; it returns the number of events dispatched. Events scheduled at
+// exactly `until` still run.
+func (e *Engine) Run(until uint64) uint64 {
+	var n uint64
+	for len(e.q) > 0 && e.q[0].at <= until {
+		e.Step()
+		n++
+	}
+	// All events at or before `until` have run; the clock stands at
+	// exactly `until` (remaining events are strictly later).
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Drain dispatches every remaining event.
+func (e *Engine) Drain() uint64 {
+	var n uint64
+	for e.Step() {
+		n++
+	}
+	return n
+}

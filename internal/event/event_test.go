@@ -1,0 +1,116 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(10, func() { got = append(got, 1) })
+	e.At(5, func() { got = append(got, 0) })
+	e.At(10, func() { got = append(got, 2) }) // same cycle: FIFO
+	e.Drain()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("order = %v", got)
+	}
+	if e.Now() != 10 {
+		t.Errorf("Now = %d", e.Now())
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New()
+	e.At(100, func() {
+		e.At(50, func() {}) // in the past: must run at 100, not 50
+	})
+	e.Drain()
+	if e.Now() != 100 {
+		t.Errorf("Now = %d, want 100", e.Now())
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at uint64
+	e.At(7, func() {
+		e.After(3, func() { at = e.Now() })
+	})
+	e.Drain()
+	if at != 10 {
+		t.Errorf("After fired at %d, want 10", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	for _, c := range []uint64{1, 2, 3, 10, 20} {
+		e.At(c, func() { fired++ })
+	}
+	n := e.Run(5)
+	if n != 3 || fired != 3 {
+		t.Errorf("Run(5) dispatched %d (fired %d), want 3", n, fired)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	// Boundary: events at exactly `until` run.
+	n = e.Run(10)
+	if n != 1 || fired != 4 {
+		t.Errorf("Run(10) dispatched %d", n)
+	}
+}
+
+func TestRunAdvancesClockWhenEmpty(t *testing.T) {
+	e := New()
+	e.Run(1000)
+	if e.Now() != 1000 {
+		t.Errorf("Now = %d, want 1000 after empty Run", e.Now())
+	}
+}
+
+func TestCascade(t *testing.T) {
+	// An event chain scheduled from within events must all execute.
+	e := New()
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, step)
+		}
+	}
+	e.At(0, step)
+	e.Drain()
+	if depth != 100 {
+		t.Errorf("depth = %d", depth)
+	}
+	if e.Executed != 100 {
+		t.Errorf("Executed = %d", e.Executed)
+	}
+}
+
+// Property: events always dispatch in non-decreasing time order regardless
+// of the scheduling order.
+func TestTimeMonotonicProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		var fired []uint64
+		for _, at := range times {
+			at := uint64(at)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Drain()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

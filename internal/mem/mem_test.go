@@ -1,0 +1,114 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockGeometry(t *testing.T) {
+	cases := []struct {
+		addr  Addr
+		block BlockAddr
+		base  Addr
+	}{
+		{0, 0, 0},
+		{63, 0, 0},
+		{64, 1, 64},
+		{65, 1, 64},
+		{1023, 15, 960},
+		{1024, 16, 1024},
+		{0xdeadbeef, 0xdeadbeef >> 6, 0xdeadbeef &^ 63},
+	}
+	for _, c := range cases {
+		if got := c.addr.Block(); got != c.block {
+			t.Errorf("Addr(%#x).Block() = %#x, want %#x", uint64(c.addr), uint64(got), uint64(c.block))
+		}
+		if got := c.addr.BlockBase(); got != c.base {
+			t.Errorf("Addr(%#x).BlockBase() = %#x, want %#x", uint64(c.addr), uint64(got), uint64(c.base))
+		}
+	}
+}
+
+func TestRegionGeometryDefaultShift(t *testing.T) {
+	const shift = DefaultRegionShift
+	if got := BlocksPerRegion(shift); got != 16 {
+		t.Fatalf("BlocksPerRegion(%d) = %d, want 16", shift, got)
+	}
+	a := Addr(3*DefaultRegionBytes + 5*BlockBytes + 7)
+	if got := a.Region(shift); got != 3 {
+		t.Errorf("Region = %d, want 3", got)
+	}
+	b := a.Block()
+	if got := b.Region(shift); got != 3 {
+		t.Errorf("block Region = %d, want 3", got)
+	}
+	if got := b.Offset(shift); got != 5 {
+		t.Errorf("Offset = %d, want 5", got)
+	}
+	r := RegionAddr(3)
+	if got := r.BaseAddr(shift); got != 3*DefaultRegionBytes {
+		t.Errorf("BaseAddr = %d, want %d", got, 3*DefaultRegionBytes)
+	}
+	if got := r.Block(shift, 5); got != b {
+		t.Errorf("Block(5) = %#x, want %#x", uint64(got), uint64(b))
+	}
+}
+
+func TestRegionGeometryOtherShifts(t *testing.T) {
+	for _, shift := range []uint{9, 10, 11} {
+		n := BlocksPerRegion(shift)
+		if n != 1<<(shift-BlockShift) {
+			t.Fatalf("BlocksPerRegion(%d) = %d", shift, n)
+		}
+		// Every block of region 7 must map back to region 7 with the
+		// right offset.
+		r := RegionAddr(7)
+		for i := uint(0); i < n; i++ {
+			b := r.Block(shift, i)
+			if b.Region(shift) != r {
+				t.Errorf("shift %d: block %d maps to region %d", shift, i, b.Region(shift))
+			}
+			if b.Offset(shift) != i {
+				t.Errorf("shift %d: offset = %d, want %d", shift, b.Offset(shift), i)
+			}
+		}
+	}
+}
+
+// Property: decomposing an address into (region, offset, byte-in-block) and
+// recomposing is the identity, for all region shifts we use.
+func TestAddressRoundTripProperty(t *testing.T) {
+	for _, shift := range []uint{9, 10, 11} {
+		shift := shift
+		f := func(raw uint64) bool {
+			a := Addr(raw % (1 << 40)) // keep within simulated physical space
+			r := a.Region(shift)
+			b := a.Block()
+			off := b.Offset(shift)
+			back := r.Block(shift, off).Addr() + (a - a.BlockBase())
+			return back == a
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("shift %d: %v", shift, err)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Error("AccessType strings wrong")
+	}
+	if AccessType(9).String() == "" {
+		t.Error("unknown AccessType must still render")
+	}
+	if MemRead.String() != "read" || MemWrite.String() != "write" {
+		t.Error("MemOp strings wrong")
+	}
+	if ReadDemandLoad.String() != "load-read" || ReadDemandStore.String() != "store-read" || ReadPrefetch.String() != "prefetch-read" {
+		t.Error("ReadKind strings wrong")
+	}
+	r := Request{Op: MemRead, Addr: 0x1000, PC: 0x40, Core: 3}
+	if r.String() == "" {
+		t.Error("Request.String empty")
+	}
+}

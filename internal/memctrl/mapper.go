@@ -1,0 +1,124 @@
+// Package memctrl implements the processor-side memory controller: DRAM
+// address mapping (the paper's block- and region-interleaved schemes),
+// per-channel transaction queues, and FR-FCFS scheduling in open-row and
+// close-row variants (Rixner et al. [41], paper Section IV.D and V.A).
+package memctrl
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bump/internal/dram"
+	"bump/internal/mem"
+)
+
+// Interleave selects the DRAM address-mapping scheme.
+type Interleave uint8
+
+const (
+	// BlockInterleave distributes consecutive cache blocks across
+	// channels, then banks, then ranks (Base-close's scheme:
+	// Row:ColumnHigh:Rank:Bank:Channel:ColumnLow:ByteOffset with a
+	// block-sized ColumnLow+ByteOffset). It maximises channel/rank/bank
+	// parallelism for sequential streams.
+	BlockInterleave Interleave = iota
+	// RegionInterleave keeps each BuMP region (1KB by default) in a
+	// single DRAM row and distributes consecutive regions across
+	// channels/banks/ranks (BuMP's and Base-open's scheme, with
+	// ColumnLow covering the region offset).
+	RegionInterleave
+)
+
+func (i Interleave) String() string {
+	if i == BlockInterleave {
+		return "block"
+	}
+	return "region"
+}
+
+// Mapper decodes physical block addresses into DRAM locations.
+type Mapper struct {
+	interleave  Interleave
+	regionShift uint
+
+	chanBits, rankBits, bankBits int
+	channels, ranks, banks       int
+	rowBlocks                    int // blocks per row
+	unitBits                     int // block bits consumed below the channel field
+	colHighBits                  int
+}
+
+// NewMapper builds a mapper for the given DRAM organisation. All dimension
+// counts must be powers of two. For RegionInterleave the region (2^shift
+// bytes) must fit in a row.
+func NewMapper(il Interleave, cfg dram.Config, regionShift uint) (*Mapper, error) {
+	for _, d := range []struct {
+		name string
+		n    int
+	}{{"channels", cfg.Channels}, {"ranks", cfg.RanksPerChannel}, {"banks", cfg.BanksPerRank}} {
+		if d.n&(d.n-1) != 0 {
+			return nil, fmt.Errorf("memctrl: %s (%d) must be a power of two", d.name, d.n)
+		}
+	}
+	rowBlocks := cfg.RowBytes / mem.BlockBytes
+	m := &Mapper{
+		interleave:  il,
+		regionShift: regionShift,
+		chanBits:    bits.TrailingZeros(uint(cfg.Channels)),
+		rankBits:    bits.TrailingZeros(uint(cfg.RanksPerChannel)),
+		bankBits:    bits.TrailingZeros(uint(cfg.BanksPerRank)),
+		channels:    cfg.Channels,
+		ranks:       cfg.RanksPerChannel,
+		banks:       cfg.BanksPerRank,
+		rowBlocks:   rowBlocks,
+	}
+	switch il {
+	case BlockInterleave:
+		m.unitBits = 0
+	case RegionInterleave:
+		regionBlocks := 1 << (regionShift - mem.BlockShift)
+		if regionBlocks > rowBlocks {
+			return nil, fmt.Errorf("memctrl: region (%d blocks) exceeds row (%d blocks)", regionBlocks, rowBlocks)
+		}
+		m.unitBits = int(regionShift - mem.BlockShift)
+	default:
+		return nil, fmt.Errorf("memctrl: unknown interleave %d", il)
+	}
+	m.colHighBits = bits.TrailingZeros(uint(rowBlocks)) - m.unitBits
+	if m.colHighBits < 0 {
+		return nil, fmt.Errorf("memctrl: row smaller than interleave unit")
+	}
+	return m, nil
+}
+
+// Map decodes block address b.
+//
+// Bit layout (LSB first above the block offset):
+//
+//	[unit offset | channel | bank | rank | columnHigh | row]
+//
+// where the unit is one block (BlockInterleave) or one region
+// (RegionInterleave). With RegionInterleave every block of a region shares
+// (channel, rank, bank, row): a bulk transfer is guaranteed to be a single
+// row activation plus row-buffer hits.
+func (m *Mapper) Map(b mem.BlockAddr) dram.Loc {
+	x := uint64(b)
+	x >>= uint(m.unitBits) // unit offset stays within the row
+	ch := int(x & uint64(m.channels-1))
+	x >>= uint(m.chanBits)
+	bank := int(x & uint64(m.banks-1))
+	x >>= uint(m.bankBits)
+	rank := int(x & uint64(m.ranks-1))
+	x >>= uint(m.rankBits)
+	x >>= uint(m.colHighBits) // columnHigh selects the unit within the row
+	return dram.Loc{Channel: ch, Rank: rank, Bank: bank, Row: x}
+}
+
+// Channels returns the channel count.
+func (m *Mapper) Channels() int { return m.channels }
+
+// SameRow reports whether two blocks land in the same bank and row.
+func (m *Mapper) SameRow(a, b mem.BlockAddr) bool {
+	la, lb := m.Map(a), m.Map(b)
+	return la == lb
+}

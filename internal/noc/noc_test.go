@@ -1,0 +1,20 @@
+package noc
+
+import "testing"
+
+func TestSendCountsAndLatency(t *testing.T) {
+	x := New(5)
+	if got := x.Send(Control, false); got != 5 {
+		t.Errorf("latency = %d", got)
+	}
+	x.Send(Control, true)
+	x.Send(Data, false)
+	x.Send(Data, false)
+	s := x.Stats()
+	if s.ControlMsgs != 2 || s.DataMsgs != 2 || s.PCMsgs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Total() != 4 {
+		t.Errorf("total = %d", s.Total())
+	}
+}

@@ -1,0 +1,92 @@
+package prefetch
+
+import "bump/internal/mem"
+
+// Stride is the baseline stride prefetcher of Section V.A: it "predicts
+// strided accesses if two consecutive addresses accessed are separated by
+// the same stride, and prefetches the subsequent four cache blocks into
+// the last-level cache". Stride state is tracked per PC in a small
+// direct-mapped table, as in classic reference-prediction tables.
+type Stride struct {
+	degree  int
+	entries []strideEntry
+	mask    uint64
+
+	// Issued counts prefetch addresses generated.
+	Issued uint64
+}
+
+type strideEntry struct {
+	pc        mem.PC
+	last      mem.BlockAddr
+	stride    int64
+	confirmed bool
+	valid     bool
+}
+
+// NewStride builds a stride prefetcher with the given degree and table
+// size (power of two).
+func NewStride(degree, tableEntries int) *Stride {
+	if degree <= 0 || tableEntries <= 0 || tableEntries&(tableEntries-1) != 0 {
+		panic("prefetch: stride degree/table invalid")
+	}
+	return &Stride{
+		degree:  degree,
+		entries: make([]strideEntry, tableEntries),
+		mask:    uint64(tableEntries - 1),
+	}
+}
+
+// DefaultStride returns the paper's degree-4 configuration.
+func DefaultStride() *Stride { return NewStride(4, 256) }
+
+// OnAccess implements Prefetcher. Stride state is tracked per (core, PC)
+// so the interleaved request streams of a many-core LLC do not corrupt
+// each other's stride history.
+func (s *Stride) OnAccess(core int, pc mem.PC, b mem.BlockAddr, miss bool) []mem.BlockAddr {
+	key := uint64(pc) ^ uint64(core)<<56
+	e := &s.entries[(uint64(pc)+uint64(core)*131)&s.mask]
+	if !e.valid || uint64(e.pc) != key {
+		*e = strideEntry{pc: mem.PC(key), last: b, valid: true}
+		return nil
+	}
+	stride := int64(b) - int64(e.last)
+	if stride == 0 {
+		return nil // same block re-touched; keep state
+	}
+	if stride == e.stride {
+		if e.confirmed {
+			e.last = b
+			out := make([]mem.BlockAddr, 0, s.degree)
+			for i := 1; i <= s.degree; i++ {
+				next := int64(b) + stride*int64(i)
+				if next < 0 {
+					break
+				}
+				out = append(out, mem.BlockAddr(next))
+			}
+			s.Issued += uint64(len(out))
+			return out
+		}
+		e.confirmed = true
+		e.last = b
+		// Two consecutive equal strides: start prefetching.
+		out := make([]mem.BlockAddr, 0, s.degree)
+		for i := 1; i <= s.degree; i++ {
+			next := int64(b) + stride*int64(i)
+			if next < 0 {
+				break
+			}
+			out = append(out, mem.BlockAddr(next))
+		}
+		s.Issued += uint64(len(out))
+		return out
+	}
+	e.stride = stride
+	e.confirmed = false
+	e.last = b
+	return nil
+}
+
+// OnEvict implements Prefetcher (stride learns nothing from evictions).
+func (s *Stride) OnEvict(mem.BlockAddr) {}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"fmt"
+
+	"bump/internal/core"
+	"bump/internal/dram"
+	"bump/internal/mem"
+	"bump/internal/memctrl"
+	"bump/internal/workload"
+)
+
+// Mechanism selects the memory-system configuration under evaluation
+// (the bars of Figs. 2, 9, 10, 13).
+type Mechanism uint8
+
+// The evaluated systems.
+const (
+	// BaseClose: stride prefetcher, FR-FCFS close-row, block-interleaved
+	// addressing (maximum bank-level parallelism).
+	BaseClose Mechanism = iota
+	// BaseOpen: stride prefetcher, FR-FCFS open-row, region-interleaved
+	// addressing (same memory controller as BuMP).
+	BaseOpen
+	// SMSOnly: Spatial Memory Streaming next to the LLC, open-row.
+	SMSOnly
+	// VWQOnly: stride prefetcher plus eager writeback of adjacent dirty
+	// blocks, open-row.
+	VWQOnly
+	// SMSVWQ combines SMSOnly and VWQOnly.
+	SMSVWQ
+	// FullRegion bulk-transfers every region on any miss/dirty eviction
+	// (no prediction).
+	FullRegion
+	// BuMP is the paper's mechanism.
+	BuMP
+	// BuMPVWQ combines BuMP with VWQ-style eager writeback for dirty
+	// evictions outside high-density regions — the extension the paper
+	// proposes in Section V.G's footnote.
+	BuMPVWQ
+)
+
+func (m Mechanism) String() string {
+	switch m {
+	case BaseClose:
+		return "base-close"
+	case BaseOpen:
+		return "base-open"
+	case SMSOnly:
+		return "sms"
+	case VWQOnly:
+		return "vwq"
+	case SMSVWQ:
+		return "sms+vwq"
+	case FullRegion:
+		return "full-region"
+	case BuMP:
+		return "bump"
+	case BuMPVWQ:
+		return "bump+vwq"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", uint8(m))
+	}
+}
+
+// Mechanisms lists all evaluated systems in figure order.
+func Mechanisms() []Mechanism {
+	return []Mechanism{BaseClose, BaseOpen, SMSOnly, VWQOnly, SMSVWQ, FullRegion, BuMP}
+}
+
+// Config is the full-system configuration (Table II defaults).
+type Config struct {
+	Cores int
+
+	// Core model.
+	WindowSize      int // 48-entry ROB
+	RetireWidth     int // 3-way
+	L1MSHRs         int // 10
+	L1Bytes         int // 32KB
+	L1Ways          int // 2
+	L1LatencyCycles uint64
+
+	// LLC.
+	LLCBytes         int // 4MB
+	LLCWays          int // 16
+	LLCLatencyCycles uint64
+
+	// NOC.
+	NOCLatencyCycles uint64
+
+	Mechanism Mechanism
+	// DisablePrefetcher removes the mechanism's prefetcher. The
+	// characterisation experiments (Figs. 3 and 5, Table I, the Ideal
+	// system) use this so prefetch absorption does not distort the
+	// demand-traffic density profile.
+	DisablePrefetcher bool
+	// ForceBlockInterleave runs an open-row mechanism on the
+	// block-interleaved address mapping (ablation: without
+	// region-interleaving, a bulk transfer spans many banks/rows and no
+	// longer amortises a single activation).
+	ForceBlockInterleave bool
+	// MaxRowHitStreak caps consecutive row-hit-first scheduler picks
+	// (fairness-aware FR-FCFS, Section VI). 0 disables the cap.
+	MaxRowHitStreak int
+	BuMP            core.Config
+	DRAM            dram.Config
+
+	Workload workload.Params
+	// Streams optionally overrides the per-core access streams (e.g.
+	// trace replay); when set it must return a stream for every core
+	// index. Workload is still used for identification and validation.
+	Streams func(core int) workload.Stream
+	Seed    int64
+
+	// Measurement windows in CPU cycles.
+	WarmupCycles  uint64
+	MeasureCycles uint64
+}
+
+// DefaultConfig returns the paper's system (Table II) for the given
+// mechanism and workload, with simulation windows sized for statistical
+// stability at tractable runtime.
+func DefaultConfig(m Mechanism, w workload.Params) Config {
+	return Config{
+		Cores:            16,
+		WindowSize:       48,
+		RetireWidth:      3,
+		L1MSHRs:          10,
+		L1Bytes:          32 << 10,
+		L1Ways:           2,
+		L1LatencyCycles:  2,
+		LLCBytes:         4 << 20,
+		LLCWays:          16,
+		LLCLatencyCycles: 8,
+		NOCLatencyCycles: 5,
+		Mechanism:        m,
+		BuMP:             core.DefaultConfig(),
+		DRAM:             dram.DefaultConfig(),
+		Workload:         w,
+		Seed:             1,
+		WarmupCycles:     1_000_000,
+		MeasureCycles:    2_400_000,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("sim: cores must be positive")
+	}
+	if c.WindowSize <= 0 || c.RetireWidth <= 0 || c.L1MSHRs <= 0 {
+		return fmt.Errorf("sim: core model parameters must be positive")
+	}
+	if c.MeasureCycles == 0 {
+		return fmt.Errorf("sim: measure window must be positive")
+	}
+	if c.Mechanism > BuMPVWQ {
+		return fmt.Errorf("sim: unknown mechanism %d", c.Mechanism)
+	}
+	if err := c.BuMP.Validate(); err != nil {
+		return err
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// controllerConfig derives the memory-controller configuration from the
+// mechanism (Section V.A): Base-close uses close-row + block interleave;
+// everything else uses BuMP's open-row + region interleave.
+func (c Config) controllerConfig() memctrl.Config {
+	if c.Mechanism == BaseClose {
+		return memctrl.DefaultConfig(memctrl.CloseRow, memctrl.BlockInterleave)
+	}
+	if c.ForceBlockInterleave {
+		return memctrl.DefaultConfig(memctrl.OpenRow, memctrl.BlockInterleave)
+	}
+	mc := memctrl.DefaultConfig(memctrl.OpenRow, memctrl.RegionInterleave)
+	mc.RegionShift = c.BuMP.RegionShift
+	if mc.RegionShift == 0 {
+		mc.RegionShift = mem.DefaultRegionShift
+	}
+	mc.MaxRowHitStreak = c.MaxRowHitStreak
+	return mc
+}

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"bump/internal/cache"
+	"bump/internal/dram"
+	"bump/internal/energy"
+	"bump/internal/memctrl"
+	"bump/internal/noc"
+	"bump/internal/stats"
+)
+
+// Result holds the measurement-window deltas and derived metrics of one
+// run.
+type Result struct {
+	Mechanism Mechanism
+	Workload  string
+
+	Cycles       uint64
+	Instructions uint64
+
+	DRAM     dram.Stats
+	Ctrl     memctrl.Stats
+	LLC      cache.Stats
+	NOC      noc.Stats
+	Profile  ProfileCounters
+	Counters Counters
+
+	// Load latency (cycles): demand-load round trips inside the window.
+	LoadLatencyMean float64
+	LoadLatencyP95  float64
+	LoadLatencyN    int
+
+	Energy energy.Breakdown
+	// Energy-per-access components (Fig. 9/13): joules per DRAM access.
+	EPATotal      float64
+	EPAActivation float64
+	EPABurstIO    float64
+}
+
+// IPC returns the aggregate committed instructions per cycle — the
+// paper's system-throughput metric (Section V.A).
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// RowHitRatio returns the DRAM row-buffer hit ratio (Fig. 2, Table IV).
+func (r Result) RowHitRatio() float64 { return r.DRAM.HitRatio() }
+
+// usefulReads is the Fig. 8 denominator: DRAM reads that served the
+// processor — demand fetches, late (merged) bulk fills, and timely
+// predicted fills.
+func (r Result) usefulReads() uint64 {
+	return r.Counters.DemandReads + r.Counters.LateBulkReads + r.LLC.PrefetchUsed
+}
+
+// ReadCoverage returns the fraction of useful DRAM reads that were
+// predicted — fetched by a bulk/prefetch fill *before* the processor
+// asked (Fig. 8 left, "Predicted").
+func (r Result) ReadCoverage() float64 {
+	return stats.Ratio(r.LLC.PrefetchUsed, r.usefulReads())
+}
+
+// ReadOverfetch returns overfetched fills (never referenced before
+// eviction) relative to useful reads — Fig. 8 left, "Overfetch".
+func (r Result) ReadOverfetch() float64 {
+	return stats.Ratio(r.LLC.PrefetchUnused, r.usefulReads())
+}
+
+// WriteCoverage returns the fraction of DRAM writes issued eagerly (bulk
+// writeback) — Fig. 8 right, "Predicted".
+func (r Result) WriteCoverage() float64 {
+	total := r.Counters.DemandWrites + r.Counters.EagerWrites
+	return stats.Ratio(r.Counters.EagerWrites, total)
+}
+
+// ExtraWritebacks returns premature writebacks relative to all writes —
+// Fig. 8 right, "Extra writebacks".
+func (r Result) ExtraWritebacks() float64 {
+	total := r.Counters.DemandWrites + r.Counters.EagerWrites
+	return stats.Ratio(r.Counters.PrematureWrites, total)
+}
+
+// LLCTraffic returns the LLC operation count (lookups + fills + probe
+// scans), the Fig. 12 traffic metric.
+func (r Result) LLCTraffic() uint64 {
+	return r.LLC.Lookups + r.LLC.Fills + r.Counters.LLCProbes
+}
+
+// NOCTrafficBytes returns crossbar traffic in bytes: 8B control, 72B
+// data (block + header), 8B extra per PC-carrying request (Fig. 12).
+func (r Result) NOCTrafficBytes() uint64 {
+	return 8*r.NOC.ControlMsgs + 72*r.NOC.DataMsgs + 8*r.NOC.PCMsgs
+}
+
+// MemoryAccesses returns total DRAM accesses in the window.
+func (r Result) MemoryAccesses() uint64 { return r.DRAM.Accesses() }
+
+func subCache(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		Lookups:        a.Lookups - b.Lookups,
+		Hits:           a.Hits - b.Hits,
+		Misses:         a.Misses - b.Misses,
+		Fills:          a.Fills - b.Fills,
+		Evictions:      a.Evictions - b.Evictions,
+		DirtyEvicts:    a.DirtyEvicts - b.DirtyEvicts,
+		PrefetchUnused: a.PrefetchUnused - b.PrefetchUnused,
+		PrefetchUsed:   a.PrefetchUsed - b.PrefetchUsed,
+	}
+}
+
+func subDRAM(a, b dram.Stats) dram.Stats {
+	return dram.Stats{
+		Activations:  a.Activations - b.Activations,
+		ReadBursts:   a.ReadBursts - b.ReadBursts,
+		WriteBursts:  a.WriteBursts - b.WriteBursts,
+		RowHits:      a.RowHits - b.RowHits,
+		RowClosed:    a.RowClosed - b.RowClosed,
+		RowConflicts: a.RowConflicts - b.RowConflicts,
+		Refreshes:    a.Refreshes - b.Refreshes,
+		BusyCycles:   a.BusyCycles - b.BusyCycles,
+	}
+}
+
+func subCtrl(a, b memctrl.Stats) memctrl.Stats {
+	return memctrl.Stats{
+		Reads:           a.Reads - b.Reads,
+		Writes:          a.Writes - b.Writes,
+		ReadQueueDelay:  a.ReadQueueDelay - b.ReadQueueDelay,
+		WriteQueueDelay: a.WriteQueueDelay - b.WriteQueueDelay,
+		WriteDrains:     a.WriteDrains - b.WriteDrains,
+		MaxQueue:        a.MaxQueue,
+	}
+}
+
+func subNOC(a, b noc.Stats) noc.Stats {
+	return noc.Stats{
+		ControlMsgs: a.ControlMsgs - b.ControlMsgs,
+		DataMsgs:    a.DataMsgs - b.DataMsgs,
+		PCMsgs:      a.PCMsgs - b.PCMsgs,
+	}
+}
+
+func subCounters(a, b Counters) Counters {
+	return Counters{
+		DemandReads:     a.DemandReads - b.DemandReads,
+		LateBulkReads:   a.LateBulkReads - b.LateBulkReads,
+		BulkReads:       a.BulkReads - b.BulkReads,
+		PrefetchReads:   a.PrefetchReads - b.PrefetchReads,
+		DemandWrites:    a.DemandWrites - b.DemandWrites,
+		EagerWrites:     a.EagerWrites - b.EagerWrites,
+		PrematureWrites: a.PrematureWrites - b.PrematureWrites,
+		LLCProbes:       a.LLCProbes - b.LLCProbes,
+		Instructions:    a.Instructions - b.Instructions,
+		WindowStalls:    a.WindowStalls - b.WindowStalls,
+		MSHRStalls:      a.MSHRStalls - b.MSHRStalls,
+		ChainStalls:     a.ChainStalls - b.ChainStalls,
+	}
+}
+
+type snap struct {
+	cycles uint64
+	dram   dram.Stats
+	ctrl   memctrl.Stats
+	llc    cache.Stats
+	noc    noc.Stats
+	prof   ProfileCounters
+	cnt    Counters
+}
+
+func (s *System) snapshot() snap {
+	c := s.counters
+	c.Instructions = 0
+	for _, cr := range s.cores {
+		c.Instructions += cr.instructions
+	}
+	return snap{
+		cycles: s.eng.Now(),
+		dram:   s.dram.Stats(),
+		ctrl:   s.mc.Stats(),
+		llc:    s.llc.Stats(),
+		noc:    s.xbar.Stats(),
+		prof:   s.prof.ProfileCounters,
+		cnt:    c,
+	}
+}
+
+// Run executes the configured warmup and measurement windows and returns
+// the measurement-window result.
+func (s *System) Run() Result {
+	for _, c := range s.cores {
+		c.arm(0)
+	}
+	s.eng.Run(s.cfg.WarmupCycles)
+	before := s.snapshot()
+	s.eng.Run(s.cfg.WarmupCycles + s.cfg.MeasureCycles)
+	s.prof.Flush()
+	after := s.snapshot()
+
+	res := Result{
+		Mechanism:    s.cfg.Mechanism,
+		Workload:     s.cfg.Workload.Name,
+		Cycles:       after.cycles - before.cycles,
+		Instructions: after.cnt.Instructions - before.cnt.Instructions,
+		DRAM:         subDRAM(after.dram, before.dram),
+		Ctrl:         subCtrl(after.ctrl, before.ctrl),
+		LLC:          subCache(after.llc, before.llc),
+		NOC:          subNOC(after.noc, before.noc),
+		Profile:      after.prof.Sub(before.prof),
+		Counters:     subCounters(after.cnt, before.cnt),
+	}
+
+	res.LoadLatencyMean = s.loadLatency.Mean()
+	res.LoadLatencyP95 = s.loadLatency.Percentile(95)
+	res.LoadLatencyN = s.loadLatency.N()
+
+	model := energy.NewModel()
+	in := energy.Inputs{
+		Cycles:          res.Cycles,
+		Cores:           s.cfg.Cores,
+		Instructions:    res.Instructions,
+		LLCReads:        res.LLC.Lookups + res.Counters.LLCProbes,
+		LLCWrites:       res.LLC.Fills,
+		NOCControl:      res.NOC.ControlMsgs,
+		NOCData:         res.NOC.DataMsgs,
+		NOCPC:           res.NOC.PCMsgs,
+		DRAMActivations: res.DRAM.Activations,
+		DRAMReads:       res.DRAM.ReadBursts,
+		DRAMWrites:      res.DRAM.WriteBursts,
+	}
+	res.Energy = model.Compute(in)
+	// Energy per access uses a *useful-access* denominator, so that
+	// overfetched fills and premature writebacks raise the metric (the
+	// paper's Fig. 9 penalises Full-region this way): useful = demand
+	// reads + covered bulk/prefetch fills + writebacks that were not
+	// premature duplicates.
+	useful := res.Counters.DemandReads + res.Counters.LateBulkReads +
+		res.LLC.PrefetchUsed +
+		res.Counters.DemandWrites + res.Counters.EagerWrites
+	if useful > res.Counters.PrematureWrites {
+		useful -= res.Counters.PrematureWrites
+	}
+	if useful > 0 {
+		n := float64(useful)
+		res.EPATotal = res.Energy.MemoryDynamic() / n
+		res.EPAActivation = res.Energy.DRAMActivation / n
+		res.EPABurstIO = res.Energy.BurstIO() / n
+	}
+	return res
+}
+
+// RunOne is the convenience entry point: build and run one configuration.
+func RunOne(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

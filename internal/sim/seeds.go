@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"bump/internal/stats"
+)
+
+// RunSeeds runs the configuration once per seed, in parallel, and returns
+// the per-seed results in seed order. This reproduces the paper's
+// measurement discipline (SMARTS sampling at 95% confidence) in a
+// deterministic form: each seed is an independent sample of the workload.
+func RunSeeds(cfg Config, seeds []int64) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				c := cfg
+				c.Seed = seeds[i]
+				results[i], errs[i] = RunOne(c)
+			}
+		}()
+	}
+	for i := range seeds {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Aggregate summarises the headline metrics of a multi-seed run with 95%
+// confidence half-widths.
+type Aggregate struct {
+	N int
+
+	RowHitRatio, RowHitRatioCI   float64
+	IPC, IPCCI                   float64
+	EPATotal, EPATotalCI         float64
+	ReadCoverage, ReadCoverageCI float64
+}
+
+// Aggregate computes the summary over per-seed results.
+func AggregateResults(rs []Result) Aggregate {
+	var hit, ipc, epa, cov []float64
+	for _, r := range rs {
+		hit = append(hit, r.RowHitRatio())
+		ipc = append(ipc, r.IPC())
+		epa = append(epa, r.EPATotal)
+		cov = append(cov, r.ReadCoverage())
+	}
+	var a Aggregate
+	a.N = len(rs)
+	a.RowHitRatio, a.RowHitRatioCI = stats.MeanCI95(hit)
+	a.IPC, a.IPCCI = stats.MeanCI95(ipc)
+	a.EPATotal, a.EPATotalCI = stats.MeanCI95(epa)
+	a.ReadCoverage, a.ReadCoverageCI = stats.MeanCI95(cov)
+	return a
+}

@@ -1,0 +1,532 @@
+package sim
+
+import (
+	"bump/internal/cache"
+	"bump/internal/core"
+	"bump/internal/dram"
+	"bump/internal/event"
+	"bump/internal/mem"
+	"bump/internal/memctrl"
+	"bump/internal/noc"
+	"bump/internal/prefetch"
+	"bump/internal/stats"
+	"bump/internal/workload"
+	"bump/internal/writeback"
+)
+
+// Counters are the simulator-level event counts used by the coverage and
+// overhead analyses (Figs. 8 and 12).
+type Counters struct {
+	// DemandReads counts read transactions sent to DRAM for demand
+	// misses (a demand miss that merges onto an in-flight bulk fill
+	// does not count — the bulk transfer covered it).
+	DemandReads uint64
+	// BulkReads counts region-streaming reads issued by BuMP or
+	// Full-region; PrefetchReads counts stride/SMS prefetch fills.
+	BulkReads     uint64
+	PrefetchReads uint64
+	// LateBulkReads counts demand accesses that merged onto an
+	// in-flight bulk/prefetch fill: the DRAM read was shared but the
+	// data did not arrive before the request, so the paper's coverage
+	// metric counts it as on-demand, not predicted.
+	LateBulkReads uint64
+	// DemandWrites counts ordinary dirty-eviction writebacks;
+	// EagerWrites counts bulk/VWQ writebacks of still-resident blocks.
+	DemandWrites uint64
+	EagerWrites  uint64
+	// PrematureWrites counts eagerly written-back blocks that were
+	// re-dirtied before eviction (each caused an extra DRAM write).
+	PrematureWrites uint64
+	// LLCProbes counts generation-logic and VWQ lookups into the LLC
+	// (traffic beyond demand lookups, Fig. 12).
+	LLCProbes uint64
+	// Instructions is the committed work+memory-op count across cores.
+	Instructions uint64
+	// WindowStalls/MSHRStalls/ChainStalls count core stall episodes.
+	WindowStalls uint64
+	MSHRStalls   uint64
+	ChainStalls  uint64
+}
+
+type waiter struct {
+	core  int
+	load  bool
+	pos   uint64
+	chain uint32
+	issue uint64 // cycle the access left the core (for latency stats)
+}
+
+// System is one fully wired simulated server.
+type System struct {
+	cfg Config
+	eng *event.Engine
+
+	cores    []*coreRunner
+	llc      *cache.Cache
+	llcMSHRs *cache.MSHRTable
+	xbar     *noc.Crossbar
+	mc       *memctrl.Controller
+	dram     *dram.DRAM
+	prof     *Profile
+
+	bump        *core.Predictor
+	pf          prefetch.Prefetcher
+	vwq         *writeback.VWQ
+	regionShift uint
+	carriesPC   bool
+
+	dirtyCount map[mem.RegionAddr]int
+	waiters    map[uint64]waiter
+	nextTok    uint64
+
+	counters Counters
+	// loadLatency samples demand-load round trips (issue to data back at
+	// the core) within the measurement window.
+	loadLatency stats.Dist
+}
+
+// New builds a system from cfg.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := event.New()
+	d := dram.New(cfg.DRAM)
+	mc, err := memctrl.New(cfg.controllerConfig(), d, eng)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:         cfg,
+		eng:         eng,
+		llc:         cache.New(cfg.LLCBytes, cfg.LLCWays),
+		llcMSHRs:    cache.NewMSHRTable(1 << 16), // effectively unbounded fill queue
+		xbar:        noc.New(cfg.NOCLatencyCycles),
+		mc:          mc,
+		dram:        d,
+		prof:        NewProfile(cfg.BuMP.RegionShift),
+		regionShift: cfg.BuMP.RegionShift,
+		dirtyCount:  make(map[mem.RegionAddr]int),
+		waiters:     make(map[uint64]waiter),
+	}
+	mc.Handler = s.onMemComplete
+
+	switch cfg.Mechanism {
+	case BaseClose, BaseOpen:
+		s.pf = prefetch.DefaultStride()
+	case SMSOnly:
+		s.pf = prefetch.DefaultSMS()
+	case VWQOnly:
+		s.pf = prefetch.DefaultStride()
+		s.vwq = writeback.Default()
+	case SMSVWQ:
+		s.pf = prefetch.DefaultSMS()
+		s.vwq = writeback.Default()
+	case FullRegion:
+		bc := cfg.BuMP
+		bc.FullRegion = true
+		s.bump = core.New(bc)
+	case BuMP:
+		s.bump = core.New(cfg.BuMP)
+		s.carriesPC = true
+	case BuMPVWQ:
+		s.bump = core.New(cfg.BuMP)
+		s.carriesPC = true
+		s.vwq = writeback.Default()
+	}
+	if cfg.DisablePrefetcher {
+		s.pf = nil
+	}
+
+	s.cores = make([]*coreRunner, cfg.Cores)
+	for i := range s.cores {
+		var stream workload.Stream
+		if cfg.Streams != nil {
+			stream = cfg.Streams(i)
+		} else {
+			gen, err := workload.NewGenerator(cfg.Workload, cfg.Seed+int64(i)*7919)
+			if err != nil {
+				return nil, err
+			}
+			stream = gen
+		}
+		s.cores[i] = &coreRunner{
+			id:     i,
+			sys:    s,
+			stream: stream,
+			l1:     cache.New(cfg.L1Bytes, cfg.L1Ways),
+			chains: make(map[uint32]bool),
+		}
+	}
+	return s, nil
+}
+
+// Engine exposes the event engine (tests drive it directly).
+func (s *System) Engine() *event.Engine { return s.eng }
+
+// Predictor exposes the BuMP predictor, if the mechanism has one.
+func (s *System) Predictor() *core.Predictor { return s.bump }
+
+func (s *System) newToken(w waiter) uint64 {
+	s.nextTok++
+	s.waiters[s.nextTok] = w
+	return s.nextTok
+}
+
+// ---- core model ------------------------------------------------------
+
+type coreRunner struct {
+	id     int
+	sys    *System
+	stream workload.Stream
+	l1     *cache.Cache
+
+	cur     *mem.Access
+	freeAt  uint64
+	pos     uint64   // retired-instruction position
+	pending []uint64 // program positions of outstanding blocking loads
+	mshrs   int
+	chains  map[uint32]bool
+
+	instructions uint64
+	armed        bool
+}
+
+func (c *coreRunner) arm(at uint64) {
+	if c.armed {
+		return
+	}
+	c.armed = true
+	c.sys.eng.At(at, c.advance)
+}
+
+func (c *coreRunner) wake() {
+	if !c.armed {
+		c.arm(c.sys.eng.Now())
+	}
+}
+
+// advance is the core's issue loop: consume work, respect the
+// out-of-order window, dependent chains and MSHR limits, then hand memory
+// accesses to the LLC over the NOC.
+func (c *coreRunner) advance() {
+	c.armed = false
+	s := c.sys
+	now := s.eng.Now()
+	if now < c.freeAt {
+		c.arm(c.freeAt)
+		return
+	}
+	for spins := 0; spins < 64; spins++ {
+		if c.cur == nil {
+			a := c.stream.Next()
+			c.cur = &a
+		}
+		a := c.cur
+
+		// Data dependency: a chained access waits for the previous
+		// link's data.
+		if a.Chain != 0 && c.chains[a.Chain] {
+			s.counters.ChainStalls++
+			return // chain completion wakes us
+		}
+		// Window: the oldest outstanding load blocks retirement; we
+		// cannot run more than WindowSize instructions past it.
+		newPos := c.pos + uint64(a.Work) + 1
+		if len(c.pending) > 0 && newPos-c.pending[0] > uint64(s.cfg.WindowSize) {
+			s.counters.WindowStalls++
+			return // load completion wakes us
+		}
+
+		isLoad := a.Type == mem.Load
+		block := a.Addr.Block()
+		l1Hit := isLoad && c.l1.Lookup(block, true) != nil
+		if !l1Hit && c.mshrs >= s.cfg.L1MSHRs {
+			s.counters.MSHRStalls++
+			return // MSHR release wakes us
+		}
+
+		// Commit the access.
+		c.pos = newPos
+		c.instructions += uint64(a.Work) + 1
+		acc := *a
+		c.cur = nil
+		w := (uint64(a.Work) + uint64(s.cfg.RetireWidth) - 1) / uint64(s.cfg.RetireWidth)
+		issueAt := now + w
+		c.freeAt = issueAt
+
+		if l1Hit {
+			if acc.Chain != 0 {
+				c.chains[acc.Chain] = true
+				done := issueAt + s.cfg.L1LatencyCycles
+				ch := acc.Chain
+				s.eng.At(done, func() { c.chainDone(ch) })
+			}
+		} else {
+			c.mshrs++
+			if isLoad {
+				c.pending = append(c.pending, c.pos)
+				if acc.Chain != 0 {
+					c.chains[acc.Chain] = true
+				}
+			}
+			tok := s.newToken(waiter{core: c.id, load: isLoad, pos: c.pos, chain: acc.Chain, issue: issueAt})
+			lat := s.xbar.Send(noc.Control, s.carriesPC)
+			s.eng.At(issueAt+lat, func() { s.llcAccess(acc, tok) })
+		}
+
+		if c.freeAt > now {
+			c.arm(c.freeAt)
+			return
+		}
+	}
+	// Yield after many zero-work issues to keep events bounded.
+	c.arm(now + 1)
+}
+
+func (c *coreRunner) chainDone(chain uint32) {
+	delete(c.chains, chain)
+	c.wake()
+}
+
+// ---- LLC and memory path ---------------------------------------------
+
+// llcAccess handles a demand access arriving at the LLC.
+func (s *System) llcAccess(a mem.Access, tok uint64) {
+	b := a.Addr.Block()
+	isStore := a.Type == mem.Store
+	now := s.eng.Now()
+
+	s.prof.OnDemandAccess(b)
+	if s.bump != nil {
+		s.bump.Touch(a.PC, b, isStore)
+	}
+
+	core := s.waiters[tok].core
+	line := s.llc.Lookup(b, true)
+	if line != nil {
+		if isStore {
+			s.markDirty(line)
+		}
+		s.finishWaiter(tok, b, now+s.cfg.LLCLatencyCycles)
+		if !isStore && s.pf != nil {
+			s.issuePrefetches(s.pf.OnAccess(core, a.PC, b, false), a.PC)
+		}
+		return
+	}
+
+	// LLC miss.
+	if _, merged, _ := s.llcMSHRs.Allocate(b, true, tok); !merged {
+		kind := mem.ReadDemandLoad
+		if isStore {
+			kind = mem.ReadDemandStore
+		}
+		s.counters.DemandReads++
+		s.mc.Enqueue(mem.Request{
+			Op: mem.MemRead, Kind: kind, Addr: b.Addr(), PC: a.PC,
+			Core: core, Issue: now,
+		})
+		if s.bump != nil {
+			if stream, pattern := s.bump.ReadMissFootprint(a.PC, b); stream {
+				s.generateBulkRead(a.PC, b, pattern)
+			}
+		}
+	}
+	if !isStore && s.pf != nil {
+		s.issuePrefetches(s.pf.OnAccess(core, a.PC, b, true), a.PC)
+	}
+}
+
+// generateBulkRead is BuMP's access generation logic: stream every
+// not-yet-cached block of the region covered by the predicted pattern
+// (except the demand trigger). The paper's design passes a whole-region
+// pattern; the footprint ablation restricts it.
+func (s *System) generateBulkRead(pc mem.PC, trigger mem.BlockAddr, pattern uint64) {
+	region := trigger.Region(s.regionShift)
+	// The generation logic reads the region's tags in wide, banked
+	// tag-array accesses (4 tags per probe).
+	s.counters.LLCProbes += uint64(mem.BlocksPerRegion(s.regionShift)+3) / 4
+	for _, nb := range s.llc.MissingBlocksInRegion(region, s.regionShift, trigger) {
+		if pattern&(1<<nb.Offset(s.regionShift)) == 0 {
+			continue
+		}
+		if _, outstanding := s.llcMSHRs.Lookup(nb); outstanding {
+			continue
+		}
+		s.llcMSHRs.Allocate(nb, false, 0)
+		s.counters.BulkReads++
+		s.mc.Enqueue(mem.Request{
+			Op: mem.MemRead, Kind: mem.ReadPrefetch, Addr: nb.Addr(), PC: pc,
+			Bulk: true, BulkGroup: uint64(region) + 1, Issue: s.eng.Now(),
+		})
+	}
+}
+
+// issuePrefetches files stride/SMS prefetch candidates.
+func (s *System) issuePrefetches(blocks []mem.BlockAddr, pc mem.PC) {
+	for _, nb := range blocks {
+		if s.llc.Contains(nb) {
+			continue
+		}
+		if _, outstanding := s.llcMSHRs.Lookup(nb); outstanding {
+			continue
+		}
+		s.llcMSHRs.Allocate(nb, false, 0)
+		s.counters.PrefetchReads++
+		s.mc.Enqueue(mem.Request{
+			Op: mem.MemRead, Kind: mem.ReadPrefetch, Addr: nb.Addr(), PC: pc,
+			Issue: s.eng.Now(),
+		})
+	}
+}
+
+// finishWaiter returns data (or a store ack) to the requesting core.
+func (s *System) finishWaiter(tok uint64, b mem.BlockAddr, at uint64) {
+	w, ok := s.waiters[tok]
+	if !ok {
+		return
+	}
+	delete(s.waiters, tok)
+	cr := s.cores[w.core]
+	if w.load {
+		s.xbar.Send(noc.Data, false)
+	}
+	// Rewrite pos→block hack: loads fill their L1 with the block.
+	lw := w
+	s.eng.At(at+s.cfg.NOCLatencyCycles, func() {
+		now := s.eng.Now()
+		if lw.load && now >= s.cfg.WarmupCycles && now < s.cfg.WarmupCycles+s.cfg.MeasureCycles {
+			s.loadLatency.Add(float64(now - lw.issue))
+		}
+		cr.mshrs--
+		if lw.load {
+			for i, p := range cr.pending {
+				if p == lw.pos {
+					cr.pending = append(cr.pending[:i], cr.pending[i+1:]...)
+					break
+				}
+			}
+			if lw.chain != 0 {
+				delete(cr.chains, lw.chain)
+			}
+			cr.l1.Fill(b, 0, cr.id, false)
+		}
+		cr.wake()
+	})
+}
+
+// markDirty transitions an LLC line to dirty, maintaining the region
+// dirty-count and premature-writeback accounting.
+func (s *System) markDirty(line *cache.Line) {
+	if line.Dirty {
+		return
+	}
+	if line.Cleaned {
+		s.counters.PrematureWrites++
+		line.Cleaned = false
+	}
+	line.Dirty = true
+	s.dirtyCount[line.Block.Region(s.regionShift)]++
+	s.prof.OnDirty(line.Block)
+}
+
+func (s *System) decDirty(r mem.RegionAddr, b mem.BlockAddr) {
+	s.dirtyCount[r]--
+	if s.dirtyCount[r] <= 0 {
+		delete(s.dirtyCount, r)
+		s.prof.OnWriteEpochEnd(b)
+	}
+}
+
+// onMemComplete handles DRAM completions: writebacks finish silently;
+// read fills install blocks, trigger evictions, and wake waiters.
+func (s *System) onMemComplete(cp memctrl.Completion) {
+	b := cp.Req.Addr.Block()
+	if cp.Req.Op == mem.MemWrite {
+		s.prof.OnDRAMWrite(b)
+		return
+	}
+
+	if cp.Req.Kind != mem.ReadPrefetch {
+		s.prof.OnDRAMRead(b, cp.Req.Kind == mem.ReadDemandStore)
+	}
+	prefetched := cp.Req.Kind == mem.ReadPrefetch
+	line, ev := s.llc.Fill(b, cp.Req.PC, cp.Req.Core, prefetched)
+	if ev.Valid {
+		s.onEvict(ev.Line)
+	}
+	if m, ok := s.llcMSHRs.Complete(b); ok {
+		now := s.eng.Now()
+		for _, tok := range m.Waiters {
+			w, ok := s.waiters[tok]
+			if !ok {
+				continue
+			}
+			if line.Prefetched && !line.Referenced {
+				// The demand request raced the bulk/prefetch fill:
+				// the block is used, but it was not timely.
+				s.counters.LateBulkReads++
+				line.Referenced = true
+			}
+			if !w.load {
+				s.markDirty(line)
+			}
+			s.finishWaiter(tok, b, now+s.cfg.LLCLatencyCycles)
+		}
+	}
+}
+
+// llcProber adapts the LLC for VWQ's adjacent-block search.
+type llcProber struct{ s *System }
+
+// ProbeDirty implements writeback.DirtyProber.
+func (p llcProber) ProbeDirty(b mem.BlockAddr) bool {
+	p.s.counters.LLCProbes++
+	l := p.s.llc.Lookup(b, false)
+	return l != nil && l.Dirty
+}
+
+// onEvict processes an LLC eviction: writeback, BuMP termination/DRT,
+// VWQ eager writeback, SMS generation closure, density profiling.
+func (s *System) onEvict(l cache.Line) {
+	b := l.Block
+	region := b.Region(s.regionShift)
+	s.prof.OnEvict(b, l.Dirty)
+	if s.pf != nil {
+		s.pf.OnEvict(b)
+	}
+
+	var bulkWB bool
+	if s.bump != nil {
+		bulkWB = s.bump.Evict(b, l.Dirty)
+	}
+
+	if l.Dirty {
+		s.counters.DemandWrites++
+		s.mc.Enqueue(mem.Request{Op: mem.MemWrite, Addr: b.Addr(), Issue: s.eng.Now()})
+		s.decDirty(region, b)
+		// With BuMP+VWQ, VWQ handles only the dirty evictions BuMP did
+		// not claim (non-high-density regions, Section V.G footnote).
+		if s.vwq != nil && !bulkWB {
+			for _, nb := range s.vwq.OnDirtyEvict(b, llcProber{s}) {
+				s.llc.CleanBlock(nb)
+				s.counters.EagerWrites++
+				s.decDirty(nb.Region(s.regionShift), nb)
+				s.mc.Enqueue(mem.Request{Op: mem.MemWrite, Addr: nb.Addr(), Bulk: true, Issue: s.eng.Now()})
+			}
+		}
+	}
+
+	if bulkWB {
+		s.counters.LLCProbes += uint64(mem.BlocksPerRegion(s.regionShift)+3) / 4
+		for _, db := range s.llc.DirtyBlocksInRegion(region, s.regionShift) {
+			s.llc.CleanBlock(db)
+			s.counters.EagerWrites++
+			s.decDirty(region, db)
+			s.mc.Enqueue(mem.Request{
+				Op: mem.MemWrite, Addr: db.Addr(), Bulk: true,
+				BulkGroup: uint64(region) + 1, Issue: s.eng.Now(),
+			})
+		}
+	}
+}

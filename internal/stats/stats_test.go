@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator must be 0")
+	}
+	if !almostEq(Ratio(1, 4), 0.25) {
+		t.Error("Ratio(1,4)")
+	}
+	if !almostEq(Pct(1, 4), 25) {
+		t.Error("Pct(1,4)")
+	}
+}
+
+func TestImprovementAndSpeedup(t *testing.T) {
+	if !almostEq(Improvement(100, 77), 0.23) {
+		t.Errorf("Improvement = %v", Improvement(100, 77))
+	}
+	if Improvement(0, 5) != 0 {
+		t.Error("Improvement base 0")
+	}
+	if !almostEq(Speedup(100, 111), 0.11) {
+		t.Errorf("Speedup = %v", Speedup(100, 111))
+	}
+	if Speedup(0, 5) != 0 {
+		t.Error("Speedup base 0")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil)")
+	}
+	if !almostEq(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean = %v", GeoMean([]float64{2, 8}))
+	}
+	// Non-positive values are skipped, not poison.
+	if !almostEq(GeoMean([]float64{0, 4}), 4) {
+		t.Error("GeoMean skips zeros")
+	}
+}
+
+func TestDist(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Percentile(50) != 0 {
+		t.Error("empty Dist must report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		d.Add(v)
+	}
+	if d.N() != 5 || d.Min() != 1 || d.Max() != 5 {
+		t.Errorf("N/Min/Max = %d/%v/%v", d.N(), d.Min(), d.Max())
+	}
+	if !almostEq(d.Mean(), 3) {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if got := d.Percentile(50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := d.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := d.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+}
+
+// Property: for any sample set, min <= mean <= max and P0 <= P50 <= P100.
+func TestDistInvariantsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var d Dist
+		for _, r := range raw {
+			d.Add(float64(r))
+		}
+		if d.Mean() < d.Min() || d.Mean() > d.Max() {
+			return false
+		}
+		p0, p50, p100 := d.Percentile(0), d.Percentile(50), d.Percentile(100)
+		return p0 <= p50 && p50 <= p100 && p0 == d.Min() && p100 == d.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.25, 0.5)
+	for _, v := range []float64{0.1, 0.3, 0.25, 0.7, 0.5} {
+		h.Add(v)
+	}
+	// Buckets: [<0.25), [0.25,0.5), [>=0.5]
+	if h.Counts[0] != 1 || h.Counts[1] != 2 || h.Counts[2] != 2 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if !almostEq(h.Fraction(1), 0.4) {
+		t.Errorf("fraction = %v", h.Fraction(1))
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-ascending bounds")
+		}
+	}()
+	NewHistogram(1, 1)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "workload", "value")
+	tb.AddRow("web-search", 0.12345)
+	tb.AddRow("data-serving", 42.0)
+	s := tb.String()
+	for _, want := range []string{"Figure X", "workload", "web-search", "0.123", "42"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(3) != "3" {
+		t.Error("integral floats render without decimals")
+	}
+	if FormatFloat(3.14159) != "3.142" {
+		t.Errorf("got %s", FormatFloat(3.14159))
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	if m, h := MeanCI95(nil); m != 0 || h != 0 {
+		t.Error("empty input")
+	}
+	if m, h := MeanCI95([]float64{5}); m != 5 || h != 0 {
+		t.Error("single sample has zero CI")
+	}
+	// Identical samples: zero half-width.
+	if _, h := MeanCI95([]float64{2, 2, 2, 2}); h != 0 {
+		t.Errorf("identical samples: CI = %v", h)
+	}
+	// Known case: {1,2,3}, mean 2, sd 1, t(2)=4.303 -> half = 4.303/sqrt(3).
+	m, h := MeanCI95([]float64{1, 2, 3})
+	if !almostEq(m, 2) {
+		t.Errorf("mean = %v", m)
+	}
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(h-want) > 1e-3 {
+		t.Errorf("half = %v, want %v", h, want)
+	}
+	// Large n falls back to z=1.96.
+	big := make([]float64, 30)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	_, h = MeanCI95(big)
+	if h <= 0 {
+		t.Error("large-sample CI must be positive")
+	}
+}

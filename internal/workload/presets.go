@@ -1,0 +1,254 @@
+package workload
+
+// The six evaluated workloads (Section V.A). Parameter choices encode each
+// application's memory behaviour as characterised in Sections II-III and
+// Figs. 3-5; comments give the targets each preset aims for. Exact
+// fractions measured by the density profiler are recorded in
+// EXPERIMENTS.md against the paper's numbers.
+
+// DataServing models a NoSQL key-value store (Cassandra in CloudSuite):
+// hash/tree index walks to locate rows (fine-grained), row reads and row
+// updates (coarse), plus metadata updates. The paper reports the lowest
+// read high-density share (~57%) and substantial write traffic.
+func DataServing() Params {
+	return Params{
+		Name:              "data-serving",
+		ScanWeight:        0.32,
+		ChaseWeight:       0.50,
+		WriteBurstWeight:  0.16,
+		SparseWriteWeight: 0.09,
+		ScanRegionsMin:    1,
+		ScanRegionsMax:    2,
+		CoverageMin:       0.65,
+		CoverageMax:       1.0,
+		UnalignedFrac:     0.15,
+		ScanTinyFrac:      0.32,
+		ScanStoreFrac:     0.25,
+		ChaseLenMin:       4,
+		ChaseLenMax:       10,
+		SparseWriteBlocks: 4,
+		WriteRevisitFrac:  0.30,
+		WorkMin:           20,
+		WorkMax:           80,
+		ChaseWorkMin:      60,
+		ChaseWorkMax:      200,
+		OpenTasks:         6,
+		ScanPCs:           6,
+		ChasePCs:          48,
+		WritePCs:          4,
+		PhaseTasks:        90,
+		PhasePool:         64,
+		FootprintBlocks:   1 << 28, // 16GB
+		ReuseFrac:         0.04,
+	}
+}
+
+// MediaStreaming models a video streaming server (Darwin in CloudSuite):
+// long sequential reads of media chunks copied into per-client packet
+// buffers. Highest coarse-grained share (reads ~75% high-density, writes
+// ~86%), lowest write fraction (~21%), high MLP.
+func MediaStreaming() Params {
+	return Params{
+		Name:              "media-streaming",
+		ScanWeight:        0.42,
+		ChaseWeight:       0.40,
+		WriteBurstWeight:  0.15,
+		SparseWriteWeight: 0.02,
+		ScanRegionsMin:    2,
+		ScanRegionsMax:    3,
+		CoverageMin:       0.70,
+		CoverageMax:       1.0,
+		UnalignedFrac:     0.08,
+		ScanTinyFrac:      0.30,
+		ScanStoreFrac:     0.05,
+		ChaseLenMin:       2,
+		ChaseLenMax:       6,
+		SparseWriteBlocks: 2,
+		WriteRevisitFrac:  0.35,
+		WorkMin:           10,
+		WorkMax:           40,
+		ChaseWorkMin:      40,
+		ChaseWorkMax:      120,
+		OpenTasks:         10,
+		ScanPCs:           4,
+		ChasePCs:          24,
+		WritePCs:          3,
+		PhaseTasks:        70,
+		PhasePool:         64,
+		FootprintBlocks:   1 << 28,
+		ReuseFrac:         0.02,
+	}
+}
+
+// OnlineAnalytics models TPC-H queries 1/6/13/16 on a commercial DBMS:
+// scan-bound queries stream table columns (coarse), the join-bound query
+// probes hash tables (fine), and intermediate results are materialised
+// (write bursts).
+func OnlineAnalytics() Params {
+	return Params{
+		Name:              "online-analytics",
+		ScanWeight:        0.36,
+		ChaseWeight:       0.42,
+		WriteBurstWeight:  0.17,
+		SparseWriteWeight: 0.05,
+		ScanRegionsMin:    1,
+		ScanRegionsMax:    3,
+		CoverageMin:       0.70,
+		CoverageMax:       1.0,
+		UnalignedFrac:     0.12,
+		ScanTinyFrac:      0.28,
+		ScanStoreFrac:     0.10,
+		ChaseLenMin:       3,
+		ChaseLenMax:       8,
+		SparseWriteBlocks: 3,
+		WriteRevisitFrac:  0.20,
+		WorkMin:           15,
+		WorkMax:           60,
+		ChaseWorkMin:      50,
+		ChaseWorkMax:      150,
+		OpenTasks:         8,
+		ScanPCs:           8,
+		ChasePCs:          32,
+		WritePCs:          5,
+		PhaseTasks:        100,
+		PhasePool:         64,
+		FootprintBlocks:   1 << 28,
+		ReuseFrac:         0.05,
+	}
+}
+
+// SoftwareTesting models the Klee SAT-solver instances (one per core):
+// constraint structures are scanned and updated, but a very large number
+// of objects is live at once — the paper attributes BuMP's lowest
+// coverage (28% of reads) to RDTT thrashing from the many active regions.
+// OpenTasks is the distinguishing parameter: 24 interleaved tasks per
+// core ≈ 380+ simultaneously active regions across the CMP, far beyond
+// the 256-entry density table.
+func SoftwareTesting() Params {
+	return Params{
+		Name:              "software-testing",
+		ScanWeight:        0.38,
+		ChaseWeight:       0.40,
+		WriteBurstWeight:  0.20,
+		SparseWriteWeight: 0.08,
+		ScanRegionsMin:    1,
+		ScanRegionsMax:    2,
+		CoverageMin:       0.60,
+		CoverageMax:       1.0,
+		UnalignedFrac:     0.15,
+		ScanTinyFrac:      0.30,
+		ScanStoreFrac:     0.30,
+		ChaseLenMin:       3,
+		ChaseLenMax:       9,
+		SparseWriteBlocks: 4,
+		WriteRevisitFrac:  0.12,
+		WorkMin:           15,
+		WorkMax:           70,
+		ChaseWorkMin:      40,
+		ChaseWorkMax:      140,
+		OpenTasks:         32,
+		ScanPCs:           10,
+		ChasePCs:          40,
+		WritePCs:          6,
+		PhaseTasks:        60,
+		PhasePool:         64,
+		FootprintBlocks:   1 << 28,
+		ReuseFrac:         0.06,
+	}
+}
+
+// WebSearch models the index-serving node of a search engine: term
+// lookups walk a hash table (fine-grained) and then stream index pages
+// with rank metadata (coarse, Fig. 4). Read-dominated with high
+// high-density shares; few distinct accessor functions.
+func WebSearch() Params {
+	return Params{
+		Name:              "web-search",
+		ScanWeight:        0.36,
+		ChaseWeight:       0.46,
+		WriteBurstWeight:  0.15,
+		SparseWriteWeight: 0.05,
+		ScanRegionsMin:    1,
+		ScanRegionsMax:    3,
+		CoverageMin:       0.75,
+		CoverageMax:       1.0,
+		UnalignedFrac:     0.30,
+		ScanTinyFrac:      0.30,
+		ScanStoreFrac:     0.05,
+		ChaseLenMin:       3,
+		ChaseLenMax:       8,
+		SparseWriteBlocks: 2,
+		WriteRevisitFrac:  0.20,
+		WorkMin:           15,
+		WorkMax:           60,
+		ChaseWorkMin:      50,
+		ChaseWorkMax:      160,
+		OpenTasks:         6,
+		ScanPCs:           4,
+		ChasePCs:          32,
+		WritePCs:          3,
+		PhaseTasks:        100,
+		PhasePool:         64,
+		FootprintBlocks:   1 << 28,
+		ReuseFrac:         0.05,
+	}
+}
+
+// WebServing models the frontend web/PHP tier: request parsing walks
+// session and interpreter structures (fine-grained), while generated
+// pages and static objects are copied through software caches and socket
+// buffers (coarse writes).
+func WebServing() Params {
+	return Params{
+		Name:              "web-serving",
+		ScanWeight:        0.33,
+		ChaseWeight:       0.42,
+		WriteBurstWeight:  0.20,
+		SparseWriteWeight: 0.09,
+		ScanRegionsMin:    1,
+		ScanRegionsMax:    2,
+		CoverageMin:       0.70,
+		CoverageMax:       1.0,
+		UnalignedFrac:     0.12,
+		ScanTinyFrac:      0.28,
+		ScanStoreFrac:     0.15,
+		ChaseLenMin:       3,
+		ChaseLenMax:       9,
+		SparseWriteBlocks: 3,
+		WriteRevisitFrac:  0.28,
+		WorkMin:           20,
+		WorkMax:           70,
+		ChaseWorkMin:      50,
+		ChaseWorkMax:      170,
+		OpenTasks:         6,
+		ScanPCs:           6,
+		ChasePCs:          40,
+		WritePCs:          5,
+		PhaseTasks:        90,
+		PhasePool:         64,
+		FootprintBlocks:   1 << 28,
+		ReuseFrac:         0.05,
+	}
+}
+
+// All returns the six evaluated workloads in the paper's figure order.
+func All() []Params {
+	return []Params{
+		DataServing(),
+		MediaStreaming(),
+		OnlineAnalytics(),
+		SoftwareTesting(),
+		WebSearch(),
+		WebServing(),
+	}
+}
+
+// ByName returns the named workload preset.
+func ByName(name string) (Params, bool) {
+	for _, p := range All() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Params{}, false
+}

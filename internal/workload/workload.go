@@ -1,0 +1,441 @@
+// Package workload generates the per-core memory access streams of the
+// six server applications in the paper's evaluation (CloudSuite 2.0's
+// Data Serving, Media Streaming, Software Testing, Web Search and Web
+// Serving, plus TPC-H-style Online Analytics).
+//
+// The real applications are not available in this environment, so each
+// workload is a synthetic model parameterised from the paper's own
+// characterisation (Section III, Figs. 3-5): server software touches
+// memory either coarsely — scans over multi-block software objects
+// (database rows, index pages, media chunks, object-cache entries) driven
+// by a small set of accessor functions — or finely — pointer chasing
+// through hash tables, trees and OS structures spread over a vast
+// address space. The generators reproduce that bimodal structure: the
+// fraction of DRAM reads/writes falling in high-density 1KB regions, the
+// read/write traffic mix, the store-triggered read share, the code↔data
+// correlation (few PCs trigger coarse objects), and the degree of
+// inter-object interleaving (which controls how many regions are active
+// at once — the property that separates Software Testing from the rest).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bump/internal/mem"
+)
+
+// Stream produces an infinite access stream for one core.
+type Stream interface {
+	// Next returns the core's next memory access.
+	Next() mem.Access
+}
+
+// Replay is a Stream that cycles through a recorded trace. It lets
+// captured traces (cmd/tracegen) drive the simulator in place of the
+// synthetic generators.
+type Replay struct {
+	accesses []mem.Access
+	pos      int
+}
+
+// NewReplay wraps a non-empty trace in a cyclic Stream.
+func NewReplay(accesses []mem.Access) (*Replay, error) {
+	if len(accesses) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return &Replay{accesses: accesses}, nil
+}
+
+// Next implements Stream.
+func (r *Replay) Next() mem.Access {
+	a := r.accesses[r.pos]
+	r.pos++
+	if r.pos == len(r.accesses) {
+		r.pos = 0
+	}
+	return a
+}
+
+// Params defines a synthetic server workload.
+type Params struct {
+	Name string
+
+	// Task mix (weights; normalised internally). A task is a burst of
+	// related accesses: a coarse object scan, a pointer chase, a write
+	// burst into a fresh object, or a sparse update.
+	ScanWeight        float64
+	ChaseWeight       float64
+	WriteBurstWeight  float64
+	SparseWriteWeight float64
+
+	// Coarse-object geometry: objects cover ScanRegionsMin..Max regions;
+	// within each region, CoverageMin..Max of the blocks are touched
+	// (sequentially). UnalignedFrac of objects start mid-region,
+	// producing the paper's medium-density accesses.
+	ScanRegionsMin, ScanRegionsMax int
+	CoverageMin, CoverageMax       float64
+	UnalignedFrac                  float64
+
+	// ScanStoreFrac is the probability that a coarse scan also modifies
+	// the object (read-modify-write), dirtying the blocks it touches.
+	ScanStoreFrac float64
+
+	// ScanTinyFrac is the probability that a scan task turns out tiny —
+	// the accessor function touches only 1-3 blocks (small object,
+	// early termination). Tiny scans weaken the code↔data correlation:
+	// the same PCs that trigger bulk-worthy objects sometimes touch
+	// sparse ones, which is what bounds BuMP's coverage and produces
+	// its overfetch in the paper (Fig. 8).
+	ScanTinyFrac float64
+
+	// ChaseLenMin/Max is the number of dependent hops per pointer chase.
+	ChaseLenMin, ChaseLenMax int
+
+	// SparseWriteBlocks is how many scattered blocks a sparse update
+	// dirties.
+	SparseWriteBlocks int
+
+	// WriteRevisitFrac is the probability that a write burst gets a
+	// delayed follow-up: a couple of extra stores to the same object
+	// hundreds-to-thousands of tasks later (append to a buffer, update
+	// a header). Revisits that land after the region's first dirty LLC
+	// eviction produce the paper's "late writes" (Table I) and, under
+	// eager writeback, premature-writeback traffic (Fig. 8 right).
+	WriteRevisitFrac float64
+
+	// Work gaps (non-memory instructions before each access). Chase
+	// steps are dependent, so they carry their own (larger) gap.
+	WorkMin, WorkMax           int
+	ChaseWorkMin, ChaseWorkMax int
+
+	// OpenTasks is the number of tasks a core interleaves round-robin;
+	// it controls memory-level parallelism and the number of
+	// simultaneously active regions (Software Testing's defining
+	// feature).
+	OpenTasks int
+
+	// PC pools: a few accessor functions touch coarse objects, many
+	// distinct code paths do pointer chasing.
+	ScanPCs, ChasePCs, WritePCs int
+
+	// PhaseTasks makes the workload non-stationary: every PhaseTasks
+	// tasks, the accessor-PC pools shift to a different code/dataset
+	// phase (changing query mixes, JIT recompilation, dataset churn).
+	// Predictors must retrain each phase, which is what bounds BuMP's
+	// and SMS's coverage below the high-density access share in the
+	// paper (Fig. 8). 0 disables phasing.
+	PhaseTasks int
+	// PhasePool is the number of distinct phases cycled through; large
+	// pools exceed the BHT/PHT capacity so old training is lost.
+	PhasePool int
+
+	// FootprintBlocks is the size of the dataset in cache blocks;
+	// object and chase targets are sampled uniformly from it, giving
+	// the paper's "vast DRAM-resident dataset with poor temporal reuse".
+	FootprintBlocks uint64
+
+	// ReuseFrac is the probability a new task revisits a recently used
+	// object (bounded temporal locality).
+	ReuseFrac float64
+}
+
+// Validate checks generator parameters.
+func (p Params) Validate() error {
+	if p.ScanWeight+p.ChaseWeight+p.WriteBurstWeight+p.SparseWriteWeight <= 0 {
+		return fmt.Errorf("workload %s: task weights must be positive", p.Name)
+	}
+	if p.ScanRegionsMin <= 0 || p.ScanRegionsMax < p.ScanRegionsMin {
+		return fmt.Errorf("workload %s: scan region bounds invalid", p.Name)
+	}
+	if p.CoverageMin <= 0 || p.CoverageMax > 1 || p.CoverageMax < p.CoverageMin {
+		return fmt.Errorf("workload %s: coverage bounds invalid", p.Name)
+	}
+	if p.ChaseLenMin <= 0 || p.ChaseLenMax < p.ChaseLenMin {
+		return fmt.Errorf("workload %s: chase bounds invalid", p.Name)
+	}
+	if p.OpenTasks <= 0 {
+		return fmt.Errorf("workload %s: OpenTasks must be positive", p.Name)
+	}
+	if p.FootprintBlocks < 1<<16 {
+		return fmt.Errorf("workload %s: footprint too small", p.Name)
+	}
+	if p.ScanPCs <= 0 || p.ChasePCs <= 0 || p.WritePCs <= 0 {
+		return fmt.Errorf("workload %s: PC pools must be positive", p.Name)
+	}
+	return nil
+}
+
+// task is one in-flight activity on a core.
+type task struct {
+	accesses []mem.Access // pre-materialised access sequence
+	pos      int
+}
+
+// Generator implements Stream for one core.
+type Generator struct {
+	p         Params
+	rng       *rand.Rand
+	tasks     []*task
+	rr        int
+	recent    []mem.Addr // recently used object bases, for ReuseFrac
+	weights   [4]float64
+	nextChain uint32
+	taskCount int
+	revisits  []revisit
+}
+
+// revisit is a deferred follow-up write to an earlier write burst.
+type revisit struct {
+	base    mem.Addr
+	pc      mem.PC
+	matures int // taskCount at which the revisit runs
+}
+
+// NewGenerator builds a deterministic per-core stream. Different cores of
+// the same workload should use different seeds.
+func NewGenerator(p Params, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		p:   p,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	total := p.ScanWeight + p.ChaseWeight + p.WriteBurstWeight + p.SparseWriteWeight
+	g.weights = [4]float64{
+		p.ScanWeight / total,
+		p.ChaseWeight / total,
+		p.WriteBurstWeight / total,
+		p.SparseWriteWeight / total,
+	}
+	g.tasks = make([]*task, p.OpenTasks)
+	for i := range g.tasks {
+		g.tasks[i] = g.newTask()
+	}
+	return g, nil
+}
+
+func (g *Generator) intBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+func (g *Generator) floatBetween(lo, hi float64) float64 {
+	return lo + g.rng.Float64()*(hi-lo)
+}
+
+func (g *Generator) pc(base uint64, pool int) mem.PC {
+	return mem.PC(base + g.phaseShift() + 8*uint64(g.rng.Intn(pool)))
+}
+
+// phaseShift relocates the accessor-PC pools for the current phase.
+func (g *Generator) phaseShift() uint64 {
+	if g.p.PhaseTasks <= 0 || g.p.PhasePool <= 1 {
+		return 0
+	}
+	phase := (g.taskCount / g.p.PhaseTasks) % g.p.PhasePool
+	return uint64(phase) * 0x400
+}
+
+func (g *Generator) work(lo, hi int) uint32 { return uint32(g.intBetween(lo, hi)) }
+
+// objectBase picks the base address of a fresh (or reused) object that
+// spans `regions` regions.
+func (g *Generator) objectBase(regions int) mem.Addr {
+	if len(g.recent) > 0 && g.rng.Float64() < g.p.ReuseFrac {
+		return g.recent[g.rng.Intn(len(g.recent))]
+	}
+	maxRegion := g.p.FootprintBlocks >> (mem.DefaultRegionShift - mem.BlockShift)
+	r := mem.RegionAddr(g.rng.Int63n(int64(maxRegion - uint64(regions))))
+	base := r.BaseAddr(mem.DefaultRegionShift)
+	g.recent = append(g.recent, base)
+	if len(g.recent) > 32 {
+		g.recent = g.recent[1:]
+	}
+	return base
+}
+
+// PC pool bases keep the workload's code regions disjoint.
+const (
+	scanPCBase  = 0x40_0000
+	chasePCBase = 0x50_0000
+	writePCBase = 0x60_0000
+)
+
+// newScan materialises a coarse-object scan: sequential block reads (or
+// read-modify-writes) over most of each region the object covers, all
+// issued by one accessor PC — the paper's code↔data correlation.
+func (g *Generator) newScan() *task {
+	p := g.p
+	regions := g.intBetween(p.ScanRegionsMin, p.ScanRegionsMax)
+	base := g.objectBase(regions + 1)
+	pc := g.pc(scanPCBase, p.ScanPCs)
+	store := g.rng.Float64() < p.ScanStoreFrac
+	typ := mem.Load
+	if store {
+		typ = mem.Store
+	}
+
+	startOff := uint(0)
+	if g.rng.Float64() < p.UnalignedFrac {
+		startOff = uint(g.intBetween(4, 12))
+	}
+
+	var acc []mem.Access
+	blocksPer := mem.BlocksPerRegion(mem.DefaultRegionShift)
+	firstBlock := base.Block() + mem.BlockAddr(startOff)
+	totalBlocks := uint(regions)*blocksPer - startOff
+	covered := uint(float64(totalBlocks) * g.floatBetween(p.CoverageMin, p.CoverageMax))
+	if g.rng.Float64() < p.ScanTinyFrac {
+		covered = uint(g.intBetween(1, 3))
+	}
+	if covered == 0 {
+		covered = 1
+	}
+	for i := uint(0); i < covered; i++ {
+		acc = append(acc, mem.Access{
+			PC:   pc,
+			Addr: (firstBlock + mem.BlockAddr(i)).Addr(),
+			Type: typ,
+			Work: g.work(p.WorkMin, p.WorkMax),
+		})
+	}
+	return &task{accesses: acc}
+}
+
+// newChase materialises a dependent pointer chase across the footprint:
+// one block per hop, long work gaps, a diverse PC pool — the paper's
+// fine-grained, unpredictable traffic.
+func (g *Generator) newChase() *task {
+	p := g.p
+	hops := g.intBetween(p.ChaseLenMin, p.ChaseLenMax)
+	g.nextChain++
+	if g.nextChain == 0 {
+		g.nextChain = 1
+	}
+	chain := g.nextChain
+	var acc []mem.Access
+	for i := 0; i < hops; i++ {
+		b := mem.BlockAddr(g.rng.Int63n(int64(p.FootprintBlocks)))
+		acc = append(acc, mem.Access{
+			PC:    g.pc(chasePCBase, p.ChasePCs),
+			Addr:  b.Addr(),
+			Type:  mem.Load,
+			Work:  g.work(p.ChaseWorkMin, p.ChaseWorkMax),
+			Chain: chain, // each hop depends on the previous one's data
+		})
+	}
+	return &task{accesses: acc}
+}
+
+// newWriteBurst materialises the population of a fresh coarse object with
+// stores (software caches, packet buffers, socket buffers): the stores
+// fetch the blocks (store-triggered reads) and leave them dirty, to be
+// written back on eviction.
+func (g *Generator) newWriteBurst() *task {
+	p := g.p
+	regions := g.intBetween(p.ScanRegionsMin, p.ScanRegionsMax)
+	base := g.objectBase(regions + 1)
+	pc := g.pc(writePCBase, p.WritePCs)
+	var acc []mem.Access
+	blocksPer := mem.BlocksPerRegion(mem.DefaultRegionShift)
+	totalBlocks := uint(regions) * blocksPer
+	covered := uint(float64(totalBlocks) * g.floatBetween(p.CoverageMin, p.CoverageMax))
+	if g.rng.Float64() < p.ScanTinyFrac {
+		covered = uint(g.intBetween(1, 3))
+	}
+	if covered == 0 {
+		covered = 1
+	}
+	first := base.Block()
+	for i := uint(0); i < covered; i++ {
+		acc = append(acc, mem.Access{
+			PC:   pc,
+			Addr: (first + mem.BlockAddr(i)).Addr(),
+			Type: mem.Store,
+			Work: g.work(p.WorkMin, p.WorkMax),
+		})
+	}
+	if g.rng.Float64() < p.WriteRevisitFrac {
+		g.revisits = append(g.revisits, revisit{
+			base:    base,
+			pc:      pc,
+			matures: g.taskCount + g.intBetween(200, 3000),
+		})
+	}
+	return &task{accesses: acc}
+}
+
+// newRevisit materialises a matured follow-up write: one or two stores
+// into a previously written object.
+func (g *Generator) newRevisit(rv revisit) *task {
+	p := g.p
+	n := g.intBetween(1, 2)
+	var acc []mem.Access
+	first := rv.base.Block()
+	for i := 0; i < n; i++ {
+		off := mem.BlockAddr(g.rng.Intn(mem.DefaultBlocksPerRegion))
+		acc = append(acc, mem.Access{
+			PC:   rv.pc,
+			Addr: (first + off).Addr(),
+			Type: mem.Store,
+			Work: g.work(p.WorkMin, p.WorkMax),
+		})
+	}
+	return &task{accesses: acc}
+}
+
+// newSparseWrite dirties a handful of scattered blocks (metadata updates,
+// counters): low-density write traffic.
+func (g *Generator) newSparseWrite() *task {
+	p := g.p
+	var acc []mem.Access
+	for i := 0; i < p.SparseWriteBlocks; i++ {
+		b := mem.BlockAddr(g.rng.Int63n(int64(p.FootprintBlocks)))
+		acc = append(acc, mem.Access{
+			PC:   g.pc(chasePCBase, p.ChasePCs),
+			Addr: b.Addr(),
+			Type: mem.Store,
+			Work: g.work(p.ChaseWorkMin, p.ChaseWorkMax),
+		})
+	}
+	return &task{accesses: acc}
+}
+
+func (g *Generator) newTask() *task {
+	g.taskCount++
+	if len(g.revisits) > 0 && g.revisits[0].matures <= g.taskCount {
+		rv := g.revisits[0]
+		g.revisits = g.revisits[1:]
+		return g.newRevisit(rv)
+	}
+	x := g.rng.Float64()
+	switch {
+	case x < g.weights[0]:
+		return g.newScan()
+	case x < g.weights[0]+g.weights[1]:
+		return g.newChase()
+	case x < g.weights[0]+g.weights[1]+g.weights[2]:
+		return g.newWriteBurst()
+	default:
+		return g.newSparseWrite()
+	}
+}
+
+// Next implements Stream: round-robin over the open tasks, replacing each
+// finished task with a fresh one.
+func (g *Generator) Next() mem.Access {
+	for {
+		g.rr = (g.rr + 1) % len(g.tasks)
+		t := g.tasks[g.rr]
+		if t.pos < len(t.accesses) {
+			a := t.accesses[t.pos]
+			t.pos++
+			return a
+		}
+		g.tasks[g.rr] = g.newTask()
+	}
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"testing"
+
+	"bump/internal/mem"
+)
+
+func TestAllPresetsValid(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("expected 6 workloads, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate workload name %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p, ok := ByName("web-search"); !ok || p.Name != "web-search" {
+		t.Error("ByName(web-search) failed")
+	}
+	if _, ok := ByName("no-such"); ok {
+		t.Error("unknown name must not resolve")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	for _, mut := range []func(*Params){
+		func(p *Params) { p.ScanWeight, p.ChaseWeight, p.WriteBurstWeight, p.SparseWriteWeight = 0, 0, 0, 0 },
+		func(p *Params) { p.ScanRegionsMin = 0 },
+		func(p *Params) { p.ScanRegionsMax = 0 },
+		func(p *Params) { p.CoverageMin = 0 },
+		func(p *Params) { p.CoverageMax = 1.5 },
+		func(p *Params) { p.ChaseLenMin = 0 },
+		func(p *Params) { p.OpenTasks = 0 },
+		func(p *Params) { p.FootprintBlocks = 100 },
+		func(p *Params) { p.ScanPCs = 0 },
+	} {
+		p := WebSearch()
+		mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutated params must be invalid: %+v", p)
+		}
+		if _, err := NewGenerator(p, 1); err == nil {
+			t.Error("NewGenerator must reject invalid params")
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewGenerator(WebSearch(), 42)
+	b, _ := NewGenerator(WebSearch(), 42)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverge at access %d", i)
+		}
+	}
+	c, _ := NewGenerator(WebSearch(), 43)
+	same := true
+	a2, _ := NewGenerator(WebSearch(), 42)
+	for i := 0; i < 100; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds must produce different streams")
+	}
+}
+
+func TestAddressesWithinFootprint(t *testing.T) {
+	for _, p := range All() {
+		g, err := NewGenerator(p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := mem.BlockAddr(p.FootprintBlocks)
+		for i := 0; i < 20000; i++ {
+			a := g.Next()
+			if a.Addr.Block() >= limit+mem.BlockAddr(mem.DefaultBlocksPerRegion*8) {
+				t.Fatalf("%s: address %#x beyond footprint", p.Name, uint64(a.Addr))
+			}
+		}
+	}
+}
+
+func TestPCPoolsAreDisjointAndBounded(t *testing.T) {
+	p := WebSearch()
+	g, _ := NewGenerator(p, 3)
+	pcs := map[mem.PC]bool{}
+	for i := 0; i < 50000; i++ {
+		pcs[g.Next().PC] = true
+	}
+	max := (p.ScanPCs + p.ChasePCs + p.WritePCs) * p.PhasePool
+	if len(pcs) > max {
+		t.Errorf("distinct PCs = %d, want <= %d", len(pcs), max)
+	}
+	// Scan PCs must be few per phase — this is the code↔data
+	// correlation BuMP exploits.
+	scanPCs := 0
+	for pc := range pcs {
+		if pc >= scanPCBase && pc < chasePCBase {
+			scanPCs++
+		}
+	}
+	if scanPCs == 0 || scanPCs > p.ScanPCs*p.PhasePool {
+		t.Errorf("scan PCs = %d, want 1..%d", scanPCs, p.ScanPCs*p.PhasePool)
+	}
+}
+
+// measureMix replays n accesses and classifies them by region density the
+// way Fig. 5 does at trace level: for every region touched, count the
+// distinct blocks referenced within a sliding window of the stream.
+func measureMix(t *testing.T, p Params, n int) (storeFrac float64, highReadFrac float64) {
+	t.Helper()
+	g, err := NewGenerator(p, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type gen struct {
+		blocks map[mem.BlockAddr]bool
+		reads  int
+	}
+	regions := map[mem.RegionAddr]*gen{}
+	var stores, total int
+	var reads int
+	var order []mem.RegionAddr
+	finish := func(rg *gen) (highReads int) {
+		if len(rg.blocks) >= 8 {
+			return rg.reads
+		}
+		return 0
+	}
+	high := 0
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		total++
+		if a.Type == mem.Store {
+			stores++
+		}
+		r := a.Addr.Region(mem.DefaultRegionShift)
+		rg, ok := regions[r]
+		if !ok {
+			rg = &gen{blocks: map[mem.BlockAddr]bool{}}
+			regions[r] = rg
+			order = append(order, r)
+			// Bound active set like an LLC would: retire oldest.
+			if len(order) > 4096 {
+				old := order[0]
+				order = order[1:]
+				if og, ok := regions[old]; ok {
+					high += finish(og)
+					delete(regions, old)
+				}
+			}
+		}
+		rg.blocks[a.Addr.Block()] = true
+		rg.reads++
+		reads++
+	}
+	for _, rg := range regions {
+		high += finish(rg)
+	}
+	return float64(stores) / float64(total), float64(high) / float64(reads)
+}
+
+func TestWorkloadBimodalShape(t *testing.T) {
+	// Trace-level sanity: every workload must show the paper's bimodal
+	// structure — a majority of accesses to dense regions, a
+	// non-trivial store share. (Exact DRAM-level fractions are measured
+	// by the simulator's profiler; see internal/sim and EXPERIMENTS.md.)
+	for _, p := range All() {
+		storeFrac, highFrac := measureMix(t, p, 200000)
+		if storeFrac < 0.05 || storeFrac > 0.60 {
+			t.Errorf("%s: store fraction %.2f out of plausible range", p.Name, storeFrac)
+		}
+		if highFrac < 0.45 || highFrac > 0.97 {
+			t.Errorf("%s: high-density access fraction %.2f out of range", p.Name, highFrac)
+		}
+	}
+}
+
+func TestMediaStreamingIsDensestAndDataServingSparsest(t *testing.T) {
+	_, media := measureMix(t, MediaStreaming(), 200000)
+	_, data := measureMix(t, DataServing(), 200000)
+	if media <= data {
+		t.Errorf("media streaming (%.2f) must be denser than data serving (%.2f)", media, data)
+	}
+}
+
+func TestWorkGapsWithinBounds(t *testing.T) {
+	p := WebSearch()
+	g, _ := NewGenerator(p, 5)
+	lo, hi := uint32(p.WorkMin), uint32(p.ChaseWorkMax)
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Work < lo || a.Work > hi {
+			t.Fatalf("work gap %d outside [%d,%d]", a.Work, lo, hi)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package writeback
+
+import (
+	"testing"
+
+	"bump/internal/mem"
+)
+
+type fakeLLC map[mem.BlockAddr]bool
+
+func (f fakeLLC) ProbeDirty(b mem.BlockAddr) bool { return f[b] }
+
+func TestDefaultConfig(t *testing.T) {
+	if Default().Adjacent != 3 {
+		t.Error("paper configuration probes 3 adjacent blocks")
+	}
+}
+
+func TestOnDirtyEvictFindsAdjacentDirty(t *testing.T) {
+	v := Default()
+	llc := fakeLLC{101: true, 103: true, 104: true}
+	got := v.OnDirtyEvict(100, llc)
+	// Probes 101,102,103: 101 and 103 dirty; 104 is out of reach.
+	if len(got) != 2 || got[0] != 101 || got[1] != 103 {
+		t.Errorf("got %v", got)
+	}
+	if v.Probes != 3 || v.Scheduled != 2 {
+		t.Errorf("Probes=%d Scheduled=%d", v.Probes, v.Scheduled)
+	}
+}
+
+func TestOnDirtyEvictNoneDirty(t *testing.T) {
+	v := Default()
+	if got := v.OnDirtyEvict(100, fakeLLC{}); got != nil {
+		t.Errorf("got %v", got)
+	}
+	if v.Scheduled != 0 {
+		t.Error("nothing scheduled")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0)
+}
