@@ -13,6 +13,7 @@
 package bump
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -275,15 +276,28 @@ func BenchmarkTable4BuMPHitRatio(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures the raw simulation speed of the
 // engine (events are the unit of work), for performance tracking of the
-// simulator itself.
+// simulator itself. It reports events/sec and allocs/event so the perf
+// trajectory is machine-readable across PRs.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	w := WebSearch()
+	var events uint64
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig(MechBuMP, w)
 		cfg.WarmupCycles = 100_000
 		cfg.MeasureCycles = 400_000
-		if _, err := Run(cfg); err != nil {
+		res, err := Run(cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		events += res.Events
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	if events > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
 	}
 }

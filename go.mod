@@ -1,0 +1,3 @@
+module bump
+
+go 1.24

@@ -218,31 +218,43 @@ func (c *Cache) CleanBlock(b mem.BlockAddr) (wasDirty bool) {
 // ascending block order. BuMP's writeback generation logic and VWQ's
 // adjacent-block search both scan the LLC this way.
 func (c *Cache) DirtyBlocksInRegion(r mem.RegionAddr, regionShift uint) []mem.BlockAddr {
+	return c.AppendDirtyBlocksInRegion(nil, r, regionShift)
+}
+
+// AppendDirtyBlocksInRegion is DirtyBlocksInRegion into a caller-supplied
+// buffer (typically a reused scratch slice), avoiding a per-scan
+// allocation on the bulk-writeback path.
+func (c *Cache) AppendDirtyBlocksInRegion(dst []mem.BlockAddr, r mem.RegionAddr, regionShift uint) []mem.BlockAddr {
 	n := mem.BlocksPerRegion(regionShift)
-	var out []mem.BlockAddr
 	for i := uint(0); i < n; i++ {
 		b := r.Block(regionShift, i)
 		if l := c.Lookup(b, false); l != nil && l.Dirty {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 	}
-	return out
+	return dst
 }
 
 // MissingBlocksInRegion returns region r's blocks that are not resident, in
 // ascending order, excluding the block `except` (the demand trigger).
 // BuMP's access generation logic uses it to build a bulk read.
 func (c *Cache) MissingBlocksInRegion(r mem.RegionAddr, regionShift uint, except mem.BlockAddr) []mem.BlockAddr {
+	return c.AppendMissingBlocksInRegion(nil, r, regionShift, except)
+}
+
+// AppendMissingBlocksInRegion is MissingBlocksInRegion into a
+// caller-supplied buffer (typically a reused scratch slice), avoiding a
+// per-scan allocation on the bulk-read generation path.
+func (c *Cache) AppendMissingBlocksInRegion(dst []mem.BlockAddr, r mem.RegionAddr, regionShift uint, except mem.BlockAddr) []mem.BlockAddr {
 	n := mem.BlocksPerRegion(regionShift)
-	var out []mem.BlockAddr
 	for i := uint(0); i < n; i++ {
 		b := r.Block(regionShift, i)
 		if b == except {
 			continue
 		}
 		if c.Lookup(b, false) == nil {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 	}
-	return out
+	return dst
 }

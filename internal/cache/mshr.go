@@ -18,6 +18,9 @@ type MSHR struct {
 type MSHRTable struct {
 	cap     int
 	entries map[mem.BlockAddr]*MSHR
+	// pool recycles completed entries (and their Waiters backing arrays)
+	// so steady-state miss traffic allocates nothing.
+	pool []*MSHR
 
 	// Allocs counts successful allocations; Merges counts accesses
 	// coalesced onto an existing entry; Stalls counts rejected
@@ -64,7 +67,14 @@ func (t *MSHRTable) Allocate(b mem.BlockAddr, demand bool, waiter uint64) (m *MS
 		t.Stalls++
 		return nil, false, false
 	}
-	e := &MSHR{Block: b, Demand: demand}
+	var e *MSHR
+	if n := len(t.pool); n > 0 {
+		e = t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		e.Block, e.Demand, e.Waiters = b, demand, e.Waiters[:0]
+	} else {
+		e = &MSHR{Block: b, Demand: demand}
+	}
 	if waiter != 0 {
 		e.Waiters = append(e.Waiters, waiter)
 	}
@@ -83,3 +93,9 @@ func (t *MSHRTable) Complete(b mem.BlockAddr) (*MSHR, bool) {
 	delete(t.entries, b)
 	return e, true
 }
+
+// Release returns a completed entry to the table's pool for reuse. The
+// caller must be finished with the entry and its Waiters slice; callers
+// that retain completed entries simply skip Release and let the GC have
+// them.
+func (t *MSHRTable) Release(e *MSHR) { t.pool = append(t.pool, e) }

@@ -2,77 +2,217 @@
 // simulator. Components schedule callbacks at absolute or relative CPU
 // cycles; the engine runs them in time order (FIFO within a cycle, in
 // scheduling order, so component interactions are deterministic).
+//
+// The scheduler is a bucketed timing wheel: a power-of-two ring of
+// per-cycle FIFO buckets covers the near horizon (the common case —
+// core, NOC, LLC and DRAM latencies are small constants), and a typed
+// min-heap holds the overflow of far-future events. Event records are
+// intrusive nodes recycled through a free list, so steady-state
+// scheduling performs no allocation. The hot path is closure-free: the
+// Post family carries a fixed (handler, receiver, two-word payload)
+// record instead of a heap-allocated func() closure. At/After remain for
+// call sites where the closure cost does not matter.
 package event
 
-import "container/heap"
+// wheelBits sizes the timing wheel. The horizon must comfortably exceed
+// the longest common scheduling delta (worst-case DRAM transaction
+// latency including refresh is well under 2k CPU cycles); rarer events
+// land in the overflow heap, which is correct at any distance.
+const (
+	wheelBits = 12
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
 
-type item struct {
-	at  uint64
-	seq uint64
-	fn  func()
+// Handler is a closure-free event callback: obj is the receiver
+// (typically a component pointer) and a0/a1 are payload words whose
+// meaning the handler defines.
+type Handler func(obj any, a0, a1 uint64)
+
+// closureH adapts the legacy func() interface onto the handler path.
+// A func value stored in an interface carries no extra allocation beyond
+// the closure itself.
+var closureH Handler = func(obj any, _, _ uint64) { obj.(func())() }
+
+const nilIdx = -1
+
+// node is one pooled event record. Nodes live in the engine's slab and
+// link into a bucket FIFO (wheel) or sit in the overflow heap; next
+// doubles as the free-list link.
+type node struct {
+	at   uint64
+	seq  uint64
+	a0   uint64
+	a1   uint64
+	h    Handler
+	obj  any
+	next int32
 }
 
-type queue []item
-
-func (q queue) Len() int { return len(q) }
-func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *queue) Push(x interface{}) { *q = append(*q, x.(item)) }
-func (q *queue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
+type bucket struct{ head, tail int32 }
 
 // Engine is a discrete-event scheduler over a 64-bit CPU-cycle clock.
 type Engine struct {
 	now uint64
 	seq uint64
-	q   queue
-	// Executed counts dispatched events (useful for run-away detection
-	// in tests).
+	// Executed counts dispatched events (throughput metric; also useful
+	// for run-away detection in tests).
 	Executed uint64
+
+	nodes []node
+	free  int32 // free-list head into nodes
+
+	buckets    [wheelSize]bucket
+	wheelCount int // events currently in the wheel
+
+	// overflow holds node indices of events at or beyond now+wheelSize,
+	// heap-ordered by (at, seq).
+	overflow []int32
 }
 
 // New returns an engine with the clock at zero.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	e := &Engine{free: nilIdx}
+	for i := range e.buckets {
+		e.buckets[i] = bucket{head: nilIdx, tail: nilIdx}
+	}
+	return e
+}
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
 
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.wheelCount + len(e.overflow) }
+
 // At schedules fn to run at absolute cycle t. Scheduling in the past runs
 // the event at the current cycle (never before: time is monotonic).
-func (e *Engine) At(t uint64, fn func()) {
+func (e *Engine) At(t uint64, fn func()) { e.Post(t, closureH, fn, 0, 0) }
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d uint64, fn func()) { e.Post(e.now+d, closureH, fn, 0, 0) }
+
+// Post schedules h(obj, a0, a1) at absolute cycle t without allocating a
+// closure. Past times clamp to the current cycle, like At.
+func (e *Engine) Post(t uint64, h Handler, obj any, a0, a1 uint64) {
 	if t < e.now {
 		t = e.now
 	}
+	idx := e.alloc()
+	n := &e.nodes[idx]
 	e.seq++
-	heap.Push(&e.q, item{at: t, seq: e.seq, fn: fn})
+	n.at, n.seq, n.h, n.obj, n.a0, n.a1, n.next = t, e.seq, h, obj, a0, a1, nilIdx
+	e.insert(idx)
 }
 
-// After schedules fn to run d cycles from now.
-func (e *Engine) After(d uint64, fn func()) { e.At(e.now+d, fn) }
+// PostAfter schedules h(obj, a0, a1) d cycles from now.
+func (e *Engine) PostAfter(d uint64, h Handler, obj any, a0, a1 uint64) {
+	e.Post(e.now+d, h, obj, a0, a1)
+}
 
-// Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.q) }
+func (e *Engine) alloc() int32 {
+	if e.free != nilIdx {
+		idx := e.free
+		e.free = e.nodes[idx].next
+		return idx
+	}
+	e.nodes = append(e.nodes, node{})
+	return int32(len(e.nodes) - 1)
+}
+
+func (e *Engine) release(idx int32) {
+	n := &e.nodes[idx]
+	n.h, n.obj = nil, nil // drop references for the GC
+	n.next = e.free
+	e.free = idx
+}
+
+// insert files a node into the wheel (within the horizon) or the
+// overflow heap. Invariant: the wheel holds exactly the events with
+// at - now < wheelSize, so each bucket contains events of a single
+// absolute cycle, appended in scheduling order.
+func (e *Engine) insert(idx int32) {
+	n := &e.nodes[idx]
+	if n.at-e.now < wheelSize {
+		b := &e.buckets[n.at&wheelMask]
+		if b.tail == nilIdx {
+			b.head = idx
+		} else {
+			e.nodes[b.tail].next = idx
+		}
+		b.tail = idx
+		e.wheelCount++
+		return
+	}
+	e.heapPush(idx)
+}
+
+// migrate moves overflow events that entered the horizon into the wheel.
+// It must run every time now advances, before any dispatch or new
+// insertion, so bucket FIFO order stays global scheduling order: events
+// migrating out of the heap were scheduled earlier (smaller seq) than any
+// wheel insertion that could target the same cycle afterwards, and the
+// heap pops equal-cycle events in seq order.
+func (e *Engine) migrate() {
+	for len(e.overflow) > 0 {
+		top := e.overflow[0]
+		if e.nodes[top].at-e.now >= wheelSize {
+			return
+		}
+		e.heapPop()
+		e.insert(top)
+	}
+}
+
+// next returns the index of the earliest pending event, or nilIdx. The
+// wheel invariant makes the scan exact: if any wheel event exists it is
+// strictly earlier than every overflow event, and scanning buckets from
+// now upward visits cycles in increasing order.
+func (e *Engine) next() int32 {
+	if e.wheelCount > 0 {
+		for k := uint64(0); k < wheelSize; k++ {
+			if idx := e.buckets[(e.now+k)&wheelMask].head; idx != nilIdx {
+				return idx
+			}
+		}
+		panic("event: wheel count positive but no bucket occupied")
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0]
+	}
+	return nilIdx
+}
+
+// dispatch removes event idx (which must be the earliest: a bucket head
+// or the overflow top), advances the clock, and runs its handler.
+func (e *Engine) dispatch(idx int32) {
+	n := &e.nodes[idx]
+	b := &e.buckets[n.at&wheelMask]
+	if b.head == idx {
+		b.head = n.next
+		if b.head == nilIdx {
+			b.tail = nilIdx
+		}
+		e.wheelCount--
+	} else {
+		e.heapPop()
+	}
+	e.now = n.at
+	e.migrate()
+	h, obj, a0, a1 := n.h, n.obj, n.a0, n.a1
+	e.release(idx)
+	e.Executed++
+	h(obj, a0, a1)
+}
 
 // Step dispatches the next event, advancing the clock to its time.
 // Returns false if no events remain.
 func (e *Engine) Step() bool {
-	if len(e.q) == 0 {
+	idx := e.next()
+	if idx == nilIdx {
 		return false
 	}
-	it := heap.Pop(&e.q).(item)
-	e.now = it.at
-	e.Executed++
-	it.fn()
+	e.dispatch(idx)
 	return true
 }
 
@@ -81,14 +221,19 @@ func (e *Engine) Step() bool {
 // exactly `until` still run.
 func (e *Engine) Run(until uint64) uint64 {
 	var n uint64
-	for len(e.q) > 0 && e.q[0].at <= until {
-		e.Step()
+	for {
+		idx := e.next()
+		if idx == nilIdx || e.nodes[idx].at > until {
+			break
+		}
+		e.dispatch(idx)
 		n++
 	}
 	// All events at or before `until` have run; the clock stands at
 	// exactly `until` (remaining events are strictly later).
 	if e.now < until {
 		e.now = until
+		e.migrate()
 	}
 	return n
 }
@@ -100,4 +245,52 @@ func (e *Engine) Drain() uint64 {
 		n++
 	}
 	return n
+}
+
+// ---- overflow heap (typed, index-based, ordered by (at, seq)) ---------
+
+func (e *Engine) heapLess(i, j int32) bool {
+	a, b := &e.nodes[i], &e.nodes[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(idx int32) {
+	e.overflow = append(e.overflow, idx)
+	i := len(e.overflow) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.overflow[i], e.overflow[parent]) {
+			break
+		}
+		e.overflow[i], e.overflow[parent] = e.overflow[parent], e.overflow[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() int32 {
+	h := e.overflow
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.overflow = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		c := l
+		if r < last && e.heapLess(e.overflow[r], e.overflow[l]) {
+			c = r
+		}
+		if !e.heapLess(e.overflow[c], e.overflow[i]) {
+			break
+		}
+		e.overflow[i], e.overflow[c] = e.overflow[c], e.overflow[i]
+		i = c
+	}
+	return top
 }

@@ -135,35 +135,27 @@ func (r *Runner) runCfg(cfg sim.Config) sim.Result {
 }
 
 // prefill executes the given configurations in parallel, warming the
-// cache.
+// cache. A counting semaphore caps in-flight simulations at the CPU
+// count (GOMAXPROCS respects user/cgroup limits), so large sweeps
+// (Fig. 11's 72-configuration grid, multi-seed runs) never oversubscribe
+// the machine.
 func (r *Runner) prefill(cfgs []sim.Config) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	ch := make(chan sim.Config)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for cfg := range ch {
-				r.runCfg(cfg)
-			}
-		}()
-	}
 	for _, cfg := range cfgs {
 		r.mu.Lock()
 		_, cached := r.cache[keyOf(cfg)]
 		r.mu.Unlock()
-		if !cached {
-			ch <- cfg
+		if cached {
+			continue
 		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(cfg sim.Config) {
+			defer func() { <-sem; wg.Done() }()
+			r.runCfg(cfg)
+		}(cfg)
 	}
-	close(ch)
 	wg.Wait()
 }
 

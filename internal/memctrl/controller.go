@@ -96,15 +96,21 @@ type Stats struct {
 	MaxQueue int
 }
 
+// txn is one pooled in-flight transaction. Slots live in the
+// controller's slab from Enqueue until completion delivery (or issue,
+// when no Handler is registered); next is the free-list link.
 type txn struct {
 	req mem.Request
 	loc dram.Loc
 	arr uint64 // arrival (CPU cycles)
+	// outcome is filled at issue time and carried to the completion event.
+	outcome dram.RowOutcome
+	next    int32
 }
 
 type channelQueue struct {
-	reads    []txn
-	writes   []txn
+	reads    []int32 // txn slab indices, arrival order
+	writes   []int32
 	draining bool
 	// hitStreak counts consecutive row-hit-first picks (for
 	// MaxRowHitStreak).
@@ -123,8 +129,23 @@ type Controller struct {
 	queues []channelQueue
 	stats  Stats
 
+	txns    []txn
+	freeTxn int32
+
 	// Handler receives every completion. Must be set before use.
 	Handler func(Completion)
+}
+
+// Closure-free event handlers (event.Handler): the receiver rides in
+// obj, the channel or transaction-slot index in a0.
+func kickH(obj any, ch, _ uint64) {
+	c := obj.(*Controller)
+	c.queues[ch].kickArmed = false
+	c.issue(int(ch))
+}
+
+func completeH(obj any, idx, _ uint64) {
+	obj.(*Controller).complete(int32(idx))
 }
 
 // New wires a controller to a DRAM device and event engine.
@@ -137,12 +158,28 @@ func New(cfg Config, d *dram.DRAM, eng *event.Engine) (*Controller, error) {
 		return nil, err
 	}
 	return &Controller{
-		cfg:    cfg,
-		mapper: mapper,
-		dram:   d,
-		eng:    eng,
-		queues: make([]channelQueue, d.Config().Channels),
+		cfg:     cfg,
+		mapper:  mapper,
+		dram:    d,
+		eng:     eng,
+		queues:  make([]channelQueue, d.Config().Channels),
+		freeTxn: -1,
 	}, nil
+}
+
+func (c *Controller) allocTxn() int32 {
+	if c.freeTxn >= 0 {
+		idx := c.freeTxn
+		c.freeTxn = c.txns[idx].next
+		return idx
+	}
+	c.txns = append(c.txns, txn{})
+	return int32(len(c.txns) - 1)
+}
+
+func (c *Controller) releaseTxn(idx int32) {
+	c.txns[idx].next = c.freeTxn
+	c.freeTxn = idx
 }
 
 // Mapper exposes the address mapper (the Ideal oracle uses it).
@@ -167,11 +204,13 @@ func (c *Controller) QueueLen() int {
 func (c *Controller) Enqueue(req mem.Request) {
 	loc := c.mapper.Map(req.Addr.Block())
 	q := &c.queues[loc.Channel]
-	t := txn{req: req, loc: loc, arr: c.eng.Now()}
+	idx := c.allocTxn()
+	t := &c.txns[idx]
+	t.req, t.loc, t.arr = req, loc, c.eng.Now()
 	if req.Op == mem.MemWrite {
-		q.writes = append(q.writes, t)
+		q.writes = append(q.writes, idx)
 	} else {
-		q.reads = append(q.reads, t)
+		q.reads = append(q.reads, idx)
 		if len(q.reads) > c.stats.MaxQueue {
 			c.stats.MaxQueue = len(q.reads)
 		}
@@ -192,17 +231,14 @@ func (c *Controller) kick(ch int) {
 	if at < q.decideFree {
 		at = q.decideFree
 	}
-	c.eng.At(at, func() {
-		q.kickArmed = false
-		c.issue(ch)
-	})
+	c.eng.Post(at, kickH, c, uint64(ch), 0)
 }
 
 // pickFRFCFS returns the index of the transaction to issue from list under
 // FR-FCFS: the oldest row hit within the scheduling window, else the
 // oldest. A row-hit streak cap (if configured) periodically forces the
 // oldest transaction for fairness. Returns -1 for an empty list.
-func (c *Controller) pickFRFCFS(q *channelQueue, list []txn) int {
+func (c *Controller) pickFRFCFS(q *channelQueue, list []int32) int {
 	if len(list) == 0 {
 		return -1
 	}
@@ -216,7 +252,7 @@ func (c *Controller) pickFRFCFS(q *channelQueue, list []txn) int {
 			return 0
 		}
 		for i := 0; i < window; i++ {
-			if c.dram.Outcome(list[i].loc) == dram.RowHit {
+			if c.dram.Outcome(c.txns[list[i]].loc) == dram.RowHit {
 				q.hitStreak++
 				return i
 			}
@@ -240,7 +276,7 @@ func (c *Controller) issue(ch int) {
 		c.stats.WriteDrains++
 	}
 
-	var list *[]txn
+	var list *[]int32
 	switch {
 	case q.draining && len(q.writes) > 0:
 		list = &q.writes
@@ -253,8 +289,9 @@ func (c *Controller) issue(ch int) {
 	}
 
 	i := c.pickFRFCFS(q, *list)
-	t := (*list)[i]
+	idx := (*list)[i]
 	*list = append((*list)[:i], (*list)[i+1:]...)
+	t := &c.txns[idx]
 
 	ratio := c.cfg.ClockRatio
 	memNow := int64(now / ratio)
@@ -274,13 +311,22 @@ func (c *Controller) issue(ch int) {
 	q.decideFree = now + uint64(c.dram.Config().Timing.TBurst)*ratio
 
 	if c.Handler != nil {
-		req, oc := t.req, outcome
-		c.eng.At(done, func() {
-			c.Handler(Completion{Req: req, Done: done, Outcome: oc})
-		})
+		t.outcome = outcome
+		c.eng.Post(done, completeH, c, uint64(idx), 0)
+	} else {
+		c.releaseTxn(idx)
 	}
 
 	if len(q.reads)+len(q.writes) > 0 {
 		c.kick(ch)
 	}
+}
+
+// complete delivers a finished transaction to the Handler. The slot is
+// released before the callback so re-entrant Enqueues can reuse it.
+func (c *Controller) complete(idx int32) {
+	t := &c.txns[idx]
+	cp := Completion{Req: t.req, Done: c.eng.Now(), Outcome: t.outcome}
+	c.releaseTxn(idx)
+	c.Handler(cp)
 }

@@ -95,8 +95,11 @@ type Profile struct {
 	regionShift uint
 	perRegion   uint
 
-	readGens  map[mem.RegionAddr]*readGen
-	writeGens map[mem.RegionAddr]*writeGen
+	// Generation state is held by value: the maps churn once per region
+	// residency, and boxing every generation behind a pointer made the
+	// profiler a leading allocation site.
+	readGens  map[mem.RegionAddr]readGen
+	writeGens map[mem.RegionAddr]writeGen
 }
 
 type readGen struct {
@@ -115,8 +118,8 @@ func NewProfile(regionShift uint) *Profile {
 	return &Profile{
 		regionShift: regionShift,
 		perRegion:   mem.BlocksPerRegion(regionShift),
-		readGens:    make(map[mem.RegionAddr]*readGen),
-		writeGens:   make(map[mem.RegionAddr]*writeGen),
+		readGens:    make(map[mem.RegionAddr]readGen),
+		writeGens:   make(map[mem.RegionAddr]writeGen),
 	}
 }
 
@@ -126,11 +129,10 @@ func (p *Profile) OnDemandAccess(b mem.BlockAddr) {
 	r := b.Region(p.regionShift)
 	g, ok := p.readGens[r]
 	if !ok {
-		g = &readGen{}
-		p.readGens[r] = g
 		p.ReadGenerations++
 	}
 	g.pattern |= 1 << b.Offset(p.regionShift)
+	p.readGens[r] = g
 }
 
 // OnDRAMRead attributes one DRAM read (demand miss) to its region's
@@ -145,6 +147,7 @@ func (p *Profile) OnDRAMRead(b mem.BlockAddr, storeTriggered bool) {
 	r := b.Region(p.regionShift)
 	if g, ok := p.readGens[r]; ok {
 		g.reads++
+		p.readGens[r] = g
 	}
 }
 
@@ -153,8 +156,6 @@ func (p *Profile) OnDirty(b mem.BlockAddr) {
 	r := b.Region(p.regionShift)
 	g, ok := p.writeGens[r]
 	if !ok {
-		g = &writeGen{}
-		p.writeGens[r] = g
 		p.WriteEpochs++
 	}
 	bit := uint64(1) << b.Offset(p.regionShift)
@@ -165,6 +166,7 @@ func (p *Profile) OnDirty(b mem.BlockAddr) {
 			p.LateDirtyBlocks++
 		}
 	}
+	p.writeGens[r] = g
 }
 
 // OnDRAMWrite attributes one DRAM write (writeback) to its region's write
@@ -176,12 +178,12 @@ func (p *Profile) OnDRAMWrite(b mem.BlockAddr) {
 	if !ok {
 		// Writeback with no recorded store (e.g. warmup leakage):
 		// attribute as a single-block epoch.
-		g = &writeGen{dirtied: 1}
-		p.writeGens[r] = g
+		g = writeGen{dirtied: 1}
 		p.WriteEpochs++
 	}
 	g.writebacks++
 	g.closed = true
+	p.writeGens[r] = g
 	p.WritesByClass[classify(uint(bits.OnesCount64(g.dirtied)), p.perRegion)]++
 }
 

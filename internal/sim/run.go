@@ -17,6 +17,10 @@ type Result struct {
 
 	Cycles       uint64
 	Instructions uint64
+	// Events is the total number of discrete events the engine dispatched
+	// over the whole run (warmup + measurement) — the simulator's own
+	// unit of work, used for engine-throughput tracking.
+	Events uint64
 
 	DRAM     dram.Stats
 	Ctrl     memctrl.Stats
@@ -202,6 +206,7 @@ func (s *System) Run() Result {
 	res := Result{
 		Mechanism:    s.cfg.Mechanism,
 		Workload:     s.cfg.Workload.Name,
+		Events:       s.eng.Executed,
 		Cycles:       after.cycles - before.cycles,
 		Instructions: after.cnt.Instructions - before.cnt.Instructions,
 		DRAM:         subDRAM(after.dram, before.dram),

@@ -17,27 +17,21 @@ func RunSeeds(cfg Config, seeds []int64) ([]Result, error) {
 	}
 	results := make([]Result, len(seeds))
 	errs := make([]error, len(seeds))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(seeds) {
-		workers = len(seeds)
-	}
+	// A counting semaphore caps in-flight simulations at the CPU count
+	// (GOMAXPROCS respects user/cgroup limits), so arbitrarily large seed
+	// sweeps never oversubscribe the machine.
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				c := cfg
-				c.Seed = seeds[i]
-				results[i], errs[i] = RunOne(c)
-			}
-		}()
-	}
 	for i := range seeds {
-		ch <- i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			c := cfg
+			c.Seed = seeds[i]
+			results[i], errs[i] = RunOne(c)
+		}(i)
 	}
-	close(ch)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

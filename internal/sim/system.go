@@ -48,13 +48,36 @@ type Counters struct {
 	ChainStalls  uint64
 }
 
-type waiter struct {
-	core  int
-	load  bool
+// waiterSlot is one pooled demand-transaction record, tracking a memory
+// access from core issue to data delivery. Slots live in the System's
+// slab, indexed by token; next is the free-list link. A token packs the
+// slot index (low 32 bits, +1 so tokens are non-zero) with the slot's
+// generation (high 32 bits), so a stale token can never touch a recycled
+// slot.
+type waiterSlot struct {
+	acc   mem.Access // the access in flight to the LLC
 	pos   uint64
-	chain uint32
 	issue uint64 // cycle the access left the core (for latency stats)
+	core  int32
+	chain uint32
+	gen   uint32
+	load  bool
+	state uint8
+	next  int32
 }
+
+const (
+	waiterFree    uint8 = iota
+	waiterActive        // in NOC flight to the LLC, or parked on an MSHR
+	waiterClaimed       // data on its way back to the core
+)
+
+// Closure-free event handlers (event.Handler): the receiver rides in
+// obj; payload words carry the token / chain id / block address.
+func coreAdvanceH(obj any, _, _ uint64) { obj.(*coreRunner).advance() }
+func chainDoneH(obj any, chain, _ uint64) { obj.(*coreRunner).chainDone(uint32(chain)) }
+func llcAccessH(obj any, tok, _ uint64) { obj.(*System).llcAccess(tok) }
+func deliverH(obj any, tok, blk uint64) { obj.(*System).deliver(tok, mem.BlockAddr(blk)) }
 
 // System is one fully wired simulated server.
 type System struct {
@@ -76,10 +99,13 @@ type System struct {
 	carriesPC   bool
 
 	dirtyCount map[mem.RegionAddr]int
-	waiters    map[uint64]waiter
-	nextTok    uint64
+	waiters    []waiterSlot
+	freeWaiter int32
 
 	counters Counters
+	// scratch is the reusable buffer for region scans on the bulk
+	// generation paths.
+	scratch []mem.BlockAddr
 	// loadLatency samples demand-load round trips (issue to data back at
 	// the core) within the measurement window.
 	loadLatency stats.Dist
@@ -107,7 +133,7 @@ func New(cfg Config) (*System, error) {
 		prof:        NewProfile(cfg.BuMP.RegionShift),
 		regionShift: cfg.BuMP.RegionShift,
 		dirtyCount:  make(map[mem.RegionAddr]int),
-		waiters:     make(map[uint64]waiter),
+		freeWaiter:  -1,
 	}
 	mc.Handler = s.onMemComplete
 
@@ -167,10 +193,41 @@ func (s *System) Engine() *event.Engine { return s.eng }
 // Predictor exposes the BuMP predictor, if the mechanism has one.
 func (s *System) Predictor() *core.Predictor { return s.bump }
 
-func (s *System) newToken(w waiter) uint64 {
-	s.nextTok++
-	s.waiters[s.nextTok] = w
-	return s.nextTok
+// newToken allocates a waiter slot for an access leaving the core and
+// returns its token.
+func (s *System) newToken(acc mem.Access, core int, load bool, pos uint64, issue uint64) uint64 {
+	idx := s.freeWaiter
+	if idx >= 0 {
+		s.freeWaiter = s.waiters[idx].next
+	} else {
+		s.waiters = append(s.waiters, waiterSlot{})
+		idx = int32(len(s.waiters) - 1)
+	}
+	w := &s.waiters[idx]
+	w.acc, w.core, w.load, w.pos, w.chain, w.issue = acc, int32(core), load, pos, acc.Chain, issue
+	w.state = waiterActive
+	return uint64(w.gen)<<32 | uint64(uint32(idx+1))
+}
+
+// waiterByTok resolves a token, returning nil for stale or invalid ones.
+func (s *System) waiterByTok(tok uint64) (int32, *waiterSlot) {
+	idx := int32(uint32(tok)) - 1
+	if idx < 0 || int(idx) >= len(s.waiters) {
+		return -1, nil
+	}
+	w := &s.waiters[idx]
+	if w.gen != uint32(tok>>32) || w.state == waiterFree {
+		return -1, nil
+	}
+	return idx, w
+}
+
+func (s *System) freeWaiterSlot(idx int32) {
+	w := &s.waiters[idx]
+	w.gen++
+	w.state = waiterFree
+	w.next = s.freeWaiter
+	s.freeWaiter = idx
 }
 
 // ---- core model ------------------------------------------------------
@@ -181,7 +238,8 @@ type coreRunner struct {
 	stream workload.Stream
 	l1     *cache.Cache
 
-	cur     *mem.Access
+	cur     mem.Access
+	hasCur  bool
 	freeAt  uint64
 	pos     uint64   // retired-instruction position
 	pending []uint64 // program positions of outstanding blocking loads
@@ -197,7 +255,7 @@ func (c *coreRunner) arm(at uint64) {
 		return
 	}
 	c.armed = true
-	c.sys.eng.At(at, c.advance)
+	c.sys.eng.Post(at, coreAdvanceH, c, 0, 0)
 }
 
 func (c *coreRunner) wake() {
@@ -218,11 +276,11 @@ func (c *coreRunner) advance() {
 		return
 	}
 	for spins := 0; spins < 64; spins++ {
-		if c.cur == nil {
-			a := c.stream.Next()
-			c.cur = &a
+		if !c.hasCur {
+			c.cur = c.stream.Next()
+			c.hasCur = true
 		}
-		a := c.cur
+		a := &c.cur
 
 		// Data dependency: a chained access waits for the previous
 		// link's data.
@@ -249,8 +307,8 @@ func (c *coreRunner) advance() {
 		// Commit the access.
 		c.pos = newPos
 		c.instructions += uint64(a.Work) + 1
-		acc := *a
-		c.cur = nil
+		acc := c.cur
+		c.hasCur = false
 		w := (uint64(a.Work) + uint64(s.cfg.RetireWidth) - 1) / uint64(s.cfg.RetireWidth)
 		issueAt := now + w
 		c.freeAt = issueAt
@@ -259,8 +317,7 @@ func (c *coreRunner) advance() {
 			if acc.Chain != 0 {
 				c.chains[acc.Chain] = true
 				done := issueAt + s.cfg.L1LatencyCycles
-				ch := acc.Chain
-				s.eng.At(done, func() { c.chainDone(ch) })
+				s.eng.Post(done, chainDoneH, c, uint64(acc.Chain), 0)
 			}
 		} else {
 			c.mshrs++
@@ -270,9 +327,9 @@ func (c *coreRunner) advance() {
 					c.chains[acc.Chain] = true
 				}
 			}
-			tok := s.newToken(waiter{core: c.id, load: isLoad, pos: c.pos, chain: acc.Chain, issue: issueAt})
+			tok := s.newToken(acc, c.id, isLoad, c.pos, issueAt)
 			lat := s.xbar.Send(noc.Control, s.carriesPC)
-			s.eng.At(issueAt+lat, func() { s.llcAccess(acc, tok) })
+			s.eng.Post(issueAt+lat, llcAccessH, s, tok, 0)
 		}
 
 		if c.freeAt > now {
@@ -291,8 +348,14 @@ func (c *coreRunner) chainDone(chain uint32) {
 
 // ---- LLC and memory path ---------------------------------------------
 
-// llcAccess handles a demand access arriving at the LLC.
-func (s *System) llcAccess(a mem.Access, tok uint64) {
+// llcAccess handles a demand access arriving at the LLC. The access
+// itself rides in the token's waiter slot.
+func (s *System) llcAccess(tok uint64) {
+	_, w := s.waiterByTok(tok)
+	if w == nil || w.state != waiterActive {
+		return
+	}
+	a := w.acc
 	b := a.Addr.Block()
 	isStore := a.Type == mem.Store
 	now := s.eng.Now()
@@ -302,7 +365,7 @@ func (s *System) llcAccess(a mem.Access, tok uint64) {
 		s.bump.Touch(a.PC, b, isStore)
 	}
 
-	core := s.waiters[tok].core
+	core := int(w.core)
 	line := s.llc.Lookup(b, true)
 	if line != nil {
 		if isStore {
@@ -346,7 +409,8 @@ func (s *System) generateBulkRead(pc mem.PC, trigger mem.BlockAddr, pattern uint
 	// The generation logic reads the region's tags in wide, banked
 	// tag-array accesses (4 tags per probe).
 	s.counters.LLCProbes += uint64(mem.BlocksPerRegion(s.regionShift)+3) / 4
-	for _, nb := range s.llc.MissingBlocksInRegion(region, s.regionShift, trigger) {
+	s.scratch = s.llc.AppendMissingBlocksInRegion(s.scratch[:0], region, s.regionShift, trigger)
+	for _, nb := range s.scratch {
 		if pattern&(1<<nb.Offset(s.regionShift)) == 0 {
 			continue
 		}
@@ -380,39 +444,49 @@ func (s *System) issuePrefetches(blocks []mem.BlockAddr, pc mem.PC) {
 	}
 }
 
-// finishWaiter returns data (or a store ack) to the requesting core.
+// finishWaiter claims a waiter and starts the data (or store-ack) trip
+// back to the requesting core; deliver completes it.
 func (s *System) finishWaiter(tok uint64, b mem.BlockAddr, at uint64) {
-	w, ok := s.waiters[tok]
-	if !ok {
+	_, w := s.waiterByTok(tok)
+	if w == nil || w.state != waiterActive {
 		return
 	}
-	delete(s.waiters, tok)
-	cr := s.cores[w.core]
+	w.state = waiterClaimed
 	if w.load {
 		s.xbar.Send(noc.Data, false)
 	}
-	// Rewrite pos→block hack: loads fill their L1 with the block.
-	lw := w
-	s.eng.At(at+s.cfg.NOCLatencyCycles, func() {
-		now := s.eng.Now()
-		if lw.load && now >= s.cfg.WarmupCycles && now < s.cfg.WarmupCycles+s.cfg.MeasureCycles {
-			s.loadLatency.Add(float64(now - lw.issue))
-		}
-		cr.mshrs--
-		if lw.load {
-			for i, p := range cr.pending {
-				if p == lw.pos {
-					cr.pending = append(cr.pending[:i], cr.pending[i+1:]...)
-					break
-				}
+	s.eng.Post(at+s.cfg.NOCLatencyCycles, deliverH, s, tok, uint64(b))
+}
+
+// deliver lands the response at the core: latency accounting, MSHR and
+// window release, L1 fill for loads, and a core wakeup. The waiter slot
+// is recycled here.
+func (s *System) deliver(tok uint64, b mem.BlockAddr) {
+	idx, w := s.waiterByTok(tok)
+	if w == nil || w.state != waiterClaimed {
+		return
+	}
+	load, pos, chain, issue := w.load, w.pos, w.chain, w.issue
+	cr := s.cores[w.core]
+	s.freeWaiterSlot(idx)
+	now := s.eng.Now()
+	if load && now >= s.cfg.WarmupCycles && now < s.cfg.WarmupCycles+s.cfg.MeasureCycles {
+		s.loadLatency.Add(float64(now - issue))
+	}
+	cr.mshrs--
+	if load {
+		for i, p := range cr.pending {
+			if p == pos {
+				cr.pending = append(cr.pending[:i], cr.pending[i+1:]...)
+				break
 			}
-			if lw.chain != 0 {
-				delete(cr.chains, lw.chain)
-			}
-			cr.l1.Fill(b, 0, cr.id, false)
 		}
-		cr.wake()
-	})
+		if chain != 0 {
+			delete(cr.chains, chain)
+		}
+		cr.l1.Fill(b, 0, cr.id, false)
+	}
+	cr.wake()
 }
 
 // markDirty transitions an LLC line to dirty, maintaining the region
@@ -458,8 +532,8 @@ func (s *System) onMemComplete(cp memctrl.Completion) {
 	if m, ok := s.llcMSHRs.Complete(b); ok {
 		now := s.eng.Now()
 		for _, tok := range m.Waiters {
-			w, ok := s.waiters[tok]
-			if !ok {
+			_, w := s.waiterByTok(tok)
+			if w == nil || w.state != waiterActive {
 				continue
 			}
 			if line.Prefetched && !line.Referenced {
@@ -473,6 +547,7 @@ func (s *System) onMemComplete(cp memctrl.Completion) {
 			}
 			s.finishWaiter(tok, b, now+s.cfg.LLCLatencyCycles)
 		}
+		s.llcMSHRs.Release(m)
 	}
 }
 
@@ -519,7 +594,8 @@ func (s *System) onEvict(l cache.Line) {
 
 	if bulkWB {
 		s.counters.LLCProbes += uint64(mem.BlocksPerRegion(s.regionShift)+3) / 4
-		for _, db := range s.llc.DirtyBlocksInRegion(region, s.regionShift) {
+		s.scratch = s.llc.AppendDirtyBlocksInRegion(s.scratch[:0], region, s.regionShift)
+		for _, db := range s.scratch {
 			s.llc.CleanBlock(db)
 			s.counters.EagerWrites++
 			s.decDirty(region, db)

@@ -166,11 +166,16 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// task is one in-flight activity on a core.
+// task is one in-flight activity on a core. Finished tasks are refilled
+// in place, reusing the accesses backing array, so steady-state
+// generation does not allocate.
 type task struct {
 	accesses []mem.Access // pre-materialised access sequence
 	pos      int
 }
+
+// reset prepares a task for refilling.
+func (t *task) reset() { t.accesses, t.pos = t.accesses[:0], 0 }
 
 // Generator implements Stream for one core.
 type Generator struct {
@@ -211,7 +216,8 @@ func NewGenerator(p Params, seed int64) (*Generator, error) {
 	}
 	g.tasks = make([]*task, p.OpenTasks)
 	for i := range g.tasks {
-		g.tasks[i] = g.newTask()
+		g.tasks[i] = &task{}
+		g.fillTask(g.tasks[i])
 	}
 	return g, nil
 }
@@ -268,7 +274,7 @@ const (
 // newScan materialises a coarse-object scan: sequential block reads (or
 // read-modify-writes) over most of each region the object covers, all
 // issued by one accessor PC — the paper's code↔data correlation.
-func (g *Generator) newScan() *task {
+func (g *Generator) newScan(t *task) {
 	p := g.p
 	regions := g.intBetween(p.ScanRegionsMin, p.ScanRegionsMax)
 	base := g.objectBase(regions + 1)
@@ -284,7 +290,7 @@ func (g *Generator) newScan() *task {
 		startOff = uint(g.intBetween(4, 12))
 	}
 
-	var acc []mem.Access
+	acc := t.accesses
 	blocksPer := mem.BlocksPerRegion(mem.DefaultRegionShift)
 	firstBlock := base.Block() + mem.BlockAddr(startOff)
 	totalBlocks := uint(regions)*blocksPer - startOff
@@ -303,13 +309,13 @@ func (g *Generator) newScan() *task {
 			Work: g.work(p.WorkMin, p.WorkMax),
 		})
 	}
-	return &task{accesses: acc}
+	t.accesses = acc
 }
 
 // newChase materialises a dependent pointer chase across the footprint:
 // one block per hop, long work gaps, a diverse PC pool — the paper's
 // fine-grained, unpredictable traffic.
-func (g *Generator) newChase() *task {
+func (g *Generator) newChase(t *task) {
 	p := g.p
 	hops := g.intBetween(p.ChaseLenMin, p.ChaseLenMax)
 	g.nextChain++
@@ -317,7 +323,7 @@ func (g *Generator) newChase() *task {
 		g.nextChain = 1
 	}
 	chain := g.nextChain
-	var acc []mem.Access
+	acc := t.accesses
 	for i := 0; i < hops; i++ {
 		b := mem.BlockAddr(g.rng.Int63n(int64(p.FootprintBlocks)))
 		acc = append(acc, mem.Access{
@@ -328,19 +334,19 @@ func (g *Generator) newChase() *task {
 			Chain: chain, // each hop depends on the previous one's data
 		})
 	}
-	return &task{accesses: acc}
+	t.accesses = acc
 }
 
 // newWriteBurst materialises the population of a fresh coarse object with
 // stores (software caches, packet buffers, socket buffers): the stores
 // fetch the blocks (store-triggered reads) and leave them dirty, to be
 // written back on eviction.
-func (g *Generator) newWriteBurst() *task {
+func (g *Generator) newWriteBurst(t *task) {
 	p := g.p
 	regions := g.intBetween(p.ScanRegionsMin, p.ScanRegionsMax)
 	base := g.objectBase(regions + 1)
 	pc := g.pc(writePCBase, p.WritePCs)
-	var acc []mem.Access
+	acc := t.accesses
 	blocksPer := mem.BlocksPerRegion(mem.DefaultRegionShift)
 	totalBlocks := uint(regions) * blocksPer
 	covered := uint(float64(totalBlocks) * g.floatBetween(p.CoverageMin, p.CoverageMax))
@@ -366,15 +372,15 @@ func (g *Generator) newWriteBurst() *task {
 			matures: g.taskCount + g.intBetween(200, 3000),
 		})
 	}
-	return &task{accesses: acc}
+	t.accesses = acc
 }
 
 // newRevisit materialises a matured follow-up write: one or two stores
 // into a previously written object.
-func (g *Generator) newRevisit(rv revisit) *task {
+func (g *Generator) newRevisit(t *task, rv revisit) {
 	p := g.p
 	n := g.intBetween(1, 2)
-	var acc []mem.Access
+	acc := t.accesses
 	first := rv.base.Block()
 	for i := 0; i < n; i++ {
 		off := mem.BlockAddr(g.rng.Intn(mem.DefaultBlocksPerRegion))
@@ -385,14 +391,14 @@ func (g *Generator) newRevisit(rv revisit) *task {
 			Work: g.work(p.WorkMin, p.WorkMax),
 		})
 	}
-	return &task{accesses: acc}
+	t.accesses = acc
 }
 
 // newSparseWrite dirties a handful of scattered blocks (metadata updates,
 // counters): low-density write traffic.
-func (g *Generator) newSparseWrite() *task {
+func (g *Generator) newSparseWrite(t *task) {
 	p := g.p
-	var acc []mem.Access
+	acc := t.accesses
 	for i := 0; i < p.SparseWriteBlocks; i++ {
 		b := mem.BlockAddr(g.rng.Int63n(int64(p.FootprintBlocks)))
 		acc = append(acc, mem.Access{
@@ -402,26 +408,29 @@ func (g *Generator) newSparseWrite() *task {
 			Work: g.work(p.ChaseWorkMin, p.ChaseWorkMax),
 		})
 	}
-	return &task{accesses: acc}
+	t.accesses = acc
 }
 
-func (g *Generator) newTask() *task {
+// fillTask refills t in place with the next generated activity.
+func (g *Generator) fillTask(t *task) {
+	t.reset()
 	g.taskCount++
 	if len(g.revisits) > 0 && g.revisits[0].matures <= g.taskCount {
 		rv := g.revisits[0]
 		g.revisits = g.revisits[1:]
-		return g.newRevisit(rv)
+		g.newRevisit(t, rv)
+		return
 	}
 	x := g.rng.Float64()
 	switch {
 	case x < g.weights[0]:
-		return g.newScan()
+		g.newScan(t)
 	case x < g.weights[0]+g.weights[1]:
-		return g.newChase()
+		g.newChase(t)
 	case x < g.weights[0]+g.weights[1]+g.weights[2]:
-		return g.newWriteBurst()
+		g.newWriteBurst(t)
 	default:
-		return g.newSparseWrite()
+		g.newSparseWrite(t)
 	}
 }
 
@@ -436,6 +445,6 @@ func (g *Generator) Next() mem.Access {
 			t.pos++
 			return a
 		}
-		g.tasks[g.rr] = g.newTask()
+		g.fillTask(t)
 	}
 }
