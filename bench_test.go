@@ -13,6 +13,8 @@
 package bump
 
 import (
+	"encoding/json"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -297,7 +299,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.StopTimer()
 	runtime.ReadMemStats(&after)
 	if events > 0 {
-		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
-		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
+		eventsPerSec := float64(events) / b.Elapsed().Seconds()
+		allocsPerEvent := float64(after.Mallocs-before.Mallocs) / float64(events)
+		b.ReportMetric(eventsPerSec, "events/sec")
+		b.ReportMetric(allocsPerEvent, "allocs/event")
+		writeBenchJSON(b, eventsPerSec, allocsPerEvent, events)
 	}
+}
+
+// writeBenchJSON records the throughput metrics as a machine-readable
+// artifact when BENCH_JSON names a path (CI uploads it per commit to
+// track the perf trajectory across PRs).
+func writeBenchJSON(b *testing.B, eventsPerSec, allocsPerEvent float64, events uint64) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		return
+	}
+	payload := map[string]any{
+		"benchmark":        "SimulatorThroughput",
+		"iterations":       b.N,
+		"events":           events,
+		"events_per_sec":   eventsPerSec,
+		"allocs_per_event": allocsPerEvent,
+		"ns_per_op":        float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench json: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("wrote %s", path)
 }

@@ -1,0 +1,97 @@
+// Command bumpd serves BuMP simulations over HTTP: submit jobs, poll
+// status, stream progress, and read cached results. Duplicate
+// configurations are coalesced to one execution; completed results are
+// served from an LRU cache without re-running.
+//
+// Usage:
+//
+//	bumpd                                  # listen on :8344
+//	bumpd -addr :9000 -workers 8 -cache 512 -timeout 5m
+//
+// Endpoints (see internal/service):
+//
+//	POST   /v1/jobs             submit a job spec
+//	GET    /v1/jobs/{id}        poll a job
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/results/{hash}   cached result by config hash
+//	GET    /v1/healthz          liveness + statistics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bump/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8344", "listen address")
+		workers  = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		cacheSz  = flag.Int("cache", 256, "result-cache entries")
+		retain   = flag.Int("retain", 4096, "terminal job records kept for status queries")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
+		interval = flag.Uint64("progress-interval", 0, "cycles between progress events (0 = 1/64 of each run)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	pool := service.NewPool(service.Options{
+		Workers:          *workers,
+		CacheEntries:     *cacheSz,
+		RetainJobs:       *retain,
+		DefaultTimeout:   *timeout,
+		ProgressInterval: *interval,
+	})
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     logRequests(service.NewHandler(pool)),
+		ReadTimeout: 30 * time.Second,
+		// No WriteTimeout: SSE streams stay open for a job's lifetime;
+		// the per-job timeout bounds them instead.
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bumpd: listening on %s (workers=%d, cache=%d, timeout=%s)",
+			*addr, pool.Stats().Workers, *cacheSz, *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("bumpd: %s received, draining for up to %s", sig, *drain)
+	case err := <-errc:
+		pool.Close()
+		log.Fatalf("bumpd: serve: %v", err)
+	}
+
+	// Graceful shutdown: stop accepting connections, give in-flight
+	// requests the drain window, then cancel every remaining job.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("bumpd: shutdown: %v", err)
+	}
+	pool.Close()
+	log.Printf("bumpd: stopped")
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("bumpd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

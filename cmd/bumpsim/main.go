@@ -7,6 +7,7 @@
 //	bumpsim -workload web-search -mechanism bump
 //	bumpsim -params                     # print Table II/III constants
 //	bumpsim -workload data-serving -mechanism full-region -measure 4000000
+//	bumpsim -trace trace.gob -mechanism bump   # replay a tracegen capture
 package main
 
 import (
@@ -18,16 +19,8 @@ import (
 	"bump/internal/energy"
 	"bump/internal/sim"
 	"bump/internal/stats"
+	"bump/internal/trace"
 )
-
-func mechanismByName(name string) (bump.Mechanism, bool) {
-	for _, m := range bump.Mechanisms() {
-		if m.String() == name {
-			return m, true
-		}
-	}
-	return 0, false
-}
 
 func main() {
 	var (
@@ -36,6 +29,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "deterministic seed")
 		warmup       = flag.Uint64("warmup", 0, "warmup cycles (0 = default)")
 		measure      = flag.Uint64("measure", 0, "measurement cycles (0 = default)")
+		tracePath    = flag.String("trace", "", "replay a tracegen trace file on every core instead of the synthetic generators")
 		params       = flag.Bool("params", false, "print the architectural (Table II) and energy (Table III) parameters and exit")
 	)
 	flag.Parse()
@@ -45,12 +39,28 @@ func main() {
 		return
 	}
 
+	// With -trace, the trace's recorded workload names the preset (for
+	// identification and parameter validation); -workload is only the
+	// fallback when the trace predates the preset catalogue.
+	var tr *trace.Trace
+	if *tracePath != "" {
+		var err error
+		tr, err = trace.ReadFile(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bumpsim: %v\n", err)
+			os.Exit(1)
+		}
+		if tw, ok := bump.WorkloadByName(tr.Workload); ok {
+			*workloadName = tw.Name
+		}
+	}
+
 	w, ok := bump.WorkloadByName(*workloadName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "bumpsim: unknown workload %q\n", *workloadName)
 		os.Exit(2)
 	}
-	m, ok := mechanismByName(*mechName)
+	m, ok := sim.MechanismByName(*mechName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "bumpsim: unknown mechanism %q\n", *mechName)
 		os.Exit(2)
@@ -63,6 +73,16 @@ func main() {
 	}
 	if *measure > 0 {
 		cfg.MeasureCycles = *measure
+	}
+	if tr != nil {
+		streams, err := tr.Streams()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bumpsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Streams = streams
+		fmt.Printf("replaying %s (%d accesses, core %d, seed %d) on all %d cores\n",
+			*tracePath, len(tr.Accesses), tr.Core, tr.Seed, cfg.Cores)
 	}
 
 	res, err := bump.Run(cfg)

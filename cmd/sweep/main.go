@@ -2,14 +2,23 @@
 // (workload, mechanism) pair, the Fig. 11 design grid, or a multi-seed
 // confidence run.
 //
+// Every mode expresses its matrix as a batch of service job specs. By
+// default the batch executes on an in-process service.Pool (bounded
+// workers, duplicate coalescing, result caching); with -server the same
+// batch is submitted to a running bumpd instance and collated from its
+// responses, so many sweep clients can share one simulation service and
+// its cache.
+//
 // Usage:
 //
 //	sweep -mode systems  > systems.csv
 //	sweep -mode design   > design.csv
 //	sweep -mode seeds -workload web-search -n 5 > seeds.csv
+//	sweep -mode systems -server http://localhost:8344 > systems.csv
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -17,7 +26,77 @@ import (
 	"strconv"
 
 	"bump"
+	"bump/internal/service"
+	"bump/internal/sim"
 )
+
+// runner executes a spec batch and returns results in batch order.
+type runner interface {
+	runAll(specs []service.JobSpec) ([]sim.Result, error)
+}
+
+// localRunner drives an in-process pool: the whole batch is submitted
+// up front (deduplicated, cached, executed on bounded workers), then
+// collected in order.
+type localRunner struct{ pool *service.Pool }
+
+func (l localRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		st, err := l.pool.Submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = st.ID
+	}
+	results := make([]sim.Result, len(specs))
+	for i, id := range ids {
+		st, err := l.pool.Wait(context.Background(), id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State != service.StateDone || st.Result == nil {
+			return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		results[i] = *st.Result
+	}
+	return results, nil
+}
+
+// remoteRunner submits the batch to a bumpd server and polls it down.
+type remoteRunner struct{ client *service.Client }
+
+func (r remoteRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
+	ids := make([]string, len(specs))
+	terminal := make([]*service.JobStatus, len(specs))
+	for i, spec := range specs {
+		st, err := r.client.Submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			s := st
+			terminal[i] = &s
+		}
+		ids[i] = st.ID
+	}
+	results := make([]sim.Result, len(specs))
+	for i := range specs {
+		st := terminal[i]
+		if st == nil {
+			s, err := r.client.Wait(context.Background(), ids[i])
+			if err != nil {
+				return nil, err
+			}
+			st = &s
+		}
+		if st.State != service.StateDone || st.Result == nil {
+			return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		results[i] = *st.Result
+	}
+	return results, nil
+}
 
 func main() {
 	var (
@@ -26,64 +105,87 @@ func main() {
 		n            = flag.Int("n", 5, "seed count for -mode seeds")
 		warmup       = flag.Uint64("warmup", 700_000, "warmup cycles")
 		measure      = flag.Uint64("measure", 1_500_000, "measurement cycles")
+		server       = flag.String("server", "", "bumpd base URL (e.g. http://localhost:8344); empty runs in-process")
 	)
 	flag.Parse()
+
+	var run runner
+	if *server != "" {
+		run = remoteRunner{client: service.NewClient(*server)}
+	} else {
+		pool := service.NewPool(service.Options{})
+		defer pool.Close()
+		run = localRunner{pool: pool}
+	}
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 
-	cfgFor := func(m bump.Mechanism, wl bump.Workload) bump.Config {
-		cfg := bump.DefaultConfig(m, wl)
-		cfg.WarmupCycles = *warmup
-		cfg.MeasureCycles = *measure
-		return cfg
+	baseSpec := func(m bump.Mechanism, wl string) service.JobSpec {
+		return service.JobSpec{
+			Workload:      wl,
+			Mechanism:     m.String(),
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+		}
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
 	switch *mode {
 	case "systems":
-		w.Write([]string{"workload", "mechanism", "row_hit", "ipc", "epa_nj", "read_coverage", "read_overfetch", "write_coverage"})
+		var specs []service.JobSpec
 		for _, wl := range bump.Workloads() {
 			for _, m := range bump.Mechanisms() {
-				res, err := bump.Run(cfgFor(m, wl))
-				if err != nil {
-					fatal(err)
-				}
-				w.Write([]string{wl.Name, m.String(), f(res.RowHitRatio()), f(res.IPC()),
-					f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch()), f(res.WriteCoverage())})
+				specs = append(specs, baseSpec(m, wl.Name))
 			}
 		}
+		results, err := run.runAll(specs)
+		if err != nil {
+			fatal(err)
+		}
+		w.Write([]string{"workload", "mechanism", "row_hit", "ipc", "epa_nj", "read_coverage", "read_overfetch", "write_coverage"})
+		for i, res := range results {
+			w.Write([]string{specs[i].Workload, specs[i].Mechanism, f(res.RowHitRatio()), f(res.IPC()),
+				f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch()), f(res.WriteCoverage())})
+		}
 	case "design":
-		w.Write([]string{"workload", "region_bytes", "threshold_blocks", "row_hit", "epa_nj", "read_coverage", "read_overfetch"})
+		var specs []service.JobSpec
 		for _, wl := range bump.Workloads() {
 			for _, shift := range []uint{9, 10, 11} {
 				blocks := uint(1) << (shift - 6)
 				for _, pct := range []uint{25, 50, 75, 100} {
-					cfg := cfgFor(bump.MechBuMP, wl)
-					cfg.BuMP.RegionShift = shift
-					cfg.BuMP.DensityThreshold = blocks * pct / 100
-					if cfg.BuMP.DensityThreshold == 0 {
-						cfg.BuMP.DensityThreshold = 1
+					spec := baseSpec(bump.MechBuMP, wl.Name)
+					spec.RegionShift = shift
+					spec.DensityThreshold = blocks * pct / 100
+					if spec.DensityThreshold == 0 {
+						spec.DensityThreshold = 1
 					}
-					res, err := bump.Run(cfg)
-					if err != nil {
-						fatal(err)
-					}
-					w.Write([]string{wl.Name, strconv.Itoa(1 << shift), strconv.Itoa(int(cfg.BuMP.DensityThreshold)),
-						f(res.RowHitRatio()), f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch())})
+					specs = append(specs, spec)
 				}
 			}
+		}
+		results, err := run.runAll(specs)
+		if err != nil {
+			fatal(err)
+		}
+		w.Write([]string{"workload", "region_bytes", "threshold_blocks", "row_hit", "epa_nj", "read_coverage", "read_overfetch"})
+		for i, res := range results {
+			w.Write([]string{specs[i].Workload, strconv.Itoa(1 << specs[i].RegionShift), strconv.Itoa(int(specs[i].DensityThreshold)),
+				f(res.RowHitRatio()), f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch())})
 		}
 	case "seeds":
 		wl, ok := bump.WorkloadByName(*workloadName)
 		if !ok {
 			fatal(fmt.Errorf("unknown workload %q", *workloadName))
 		}
+		specs := make([]service.JobSpec, *n)
 		seeds := make([]int64, *n)
-		for i := range seeds {
+		for i := range specs {
 			seeds[i] = int64(i + 1)
+			specs[i] = baseSpec(bump.MechBuMP, wl.Name)
+			specs[i].Seed = seeds[i]
 		}
-		rs, err := bump.RunSeeds(cfgFor(bump.MechBuMP, wl), seeds)
+		rs, err := run.runAll(specs)
 		if err != nil {
 			fatal(err)
 		}

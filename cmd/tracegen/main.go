@@ -11,7 +11,6 @@
 package main
 
 import (
-	"encoding/gob"
 	"flag"
 	"fmt"
 	"os"
@@ -19,16 +18,8 @@ import (
 	"bump"
 	"bump/internal/mem"
 	"bump/internal/stats"
-	"bump/internal/workload"
+	"bump/internal/trace"
 )
-
-// Trace is the serialised form.
-type Trace struct {
-	Workload string
-	Core     int
-	Seed     int64
-	Accesses []mem.Access
-}
 
 func main() {
 	var (
@@ -43,13 +34,8 @@ func main() {
 	flag.Parse()
 
 	if *inspect != "" {
-		f, err := os.Open(*inspect)
+		tr, err := trace.ReadFile(*inspect)
 		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		var tr Trace
-		if err := gob.NewDecoder(f).Decode(&tr); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("trace: %s core %d seed %d, %d accesses\n", tr.Workload, tr.Core, tr.Seed, len(tr.Accesses))
@@ -61,22 +47,13 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown workload %q", *workloadName))
 	}
-	gen, err := workload.NewGenerator(w, *seed+int64(*core)*7919)
+	tr, err := trace.Capture(w, *core, *seed, *n)
 	if err != nil {
 		fatal(err)
 	}
-	tr := Trace{Workload: w.Name, Core: *core, Seed: *seed, Accesses: make([]mem.Access, *n)}
-	for i := range tr.Accesses {
-		tr.Accesses[i] = gen.Next()
-	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := gob.NewEncoder(f).Encode(&tr); err != nil {
+		if err := trace.WriteFile(*out, tr); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %d accesses to %s\n", len(tr.Accesses), *out)

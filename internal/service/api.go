@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"bump/internal/sim"
+)
+
+// Metrics are the headline derived metrics of a completed run, included
+// alongside the raw Result so curl/browser clients need no client-side
+// arithmetic.
+type Metrics struct {
+	IPC           float64 `json:"ipc"`
+	RowHitRatio   float64 `json:"row_hit_ratio"`
+	EPATotalNJ    float64 `json:"epa_nj"`
+	ReadCoverage  float64 `json:"read_coverage"`
+	ReadOverfetch float64 `json:"read_overfetch"`
+	WriteCoverage float64 `json:"write_coverage"`
+}
+
+func metricsFor(r sim.Result) *Metrics {
+	return &Metrics{
+		IPC:           r.IPC(),
+		RowHitRatio:   r.RowHitRatio(),
+		EPATotalNJ:    r.EPATotal * 1e9,
+		ReadCoverage:  r.ReadCoverage(),
+		ReadOverfetch: r.ReadOverfetch(),
+		WriteCoverage: r.WriteCoverage(),
+	}
+}
+
+// JobPayload is the API representation of a job: the status snapshot
+// plus derived metrics once done.
+type JobPayload struct {
+	JobStatus
+	Metrics *Metrics `json:"metrics,omitempty"`
+}
+
+func payloadFor(st JobStatus) JobPayload {
+	p := JobPayload{JobStatus: st}
+	if st.Result != nil {
+		p.Metrics = metricsFor(*st.Result)
+	}
+	return p
+}
+
+// ResultPayload is served by GET /v1/results/{hash}.
+type ResultPayload struct {
+	Hash    string     `json:"hash"`
+	Result  sim.Result `json:"result"`
+	Metrics *Metrics   `json:"metrics"`
+}
+
+// HealthPayload is served by GET /v1/healthz.
+type HealthPayload struct {
+	Status string    `json:"status"`
+	Stats  PoolStats `json:"stats"`
+}
+
+// NewHandler exposes a Pool over HTTP/JSON:
+//
+//	POST /v1/jobs             submit a JobSpec; 200 when served from
+//	                          cache, 202 when queued/coalesced
+//	GET  /v1/jobs/{id}        poll a job's status (result when done)
+//	GET  /v1/jobs/{id}/events SSE progress stream: `progress` events
+//	                          with engine snapshots, then one terminal
+//	                          `done`/`failed`/`canceled` event carrying
+//	                          the full job payload
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET  /v1/results/{hash}   cached result lookup by config hash
+//	GET  /v1/healthz          liveness + queue/cache statistics
+func NewHandler(p *Pool) http.Handler {
+	s := &server{pool: p}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /v1/results/{hash}", s.result)
+	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	return mux
+}
+
+type server struct{ pool *Pool }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	st, err := s.pool.Submit(spec)
+	switch {
+	case err == nil:
+	case err == ErrClosed:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, payloadFor(st))
+}
+
+func (s *server) job(w http.ResponseWriter, r *http.Request) {
+	st, err := s.pool.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payloadFor(st))
+}
+
+func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.pool.Cancel(id) {
+		writeError(w, http.StatusConflict, "job %s is unknown or already terminal", id)
+		return
+	}
+	st, err := s.pool.Job(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, payloadFor(st))
+}
+
+func (s *server) result(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	res, ok := s.pool.ResultByHash(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %s", hash)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultPayload{Hash: hash, Result: res, Metrics: metricsFor(res)})
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthPayload{Status: "ok", Stats: s.pool.Stats()})
+}
+
+// events streams a job's progress as Server-Sent Events. Each engine
+// snapshot arrives as a `progress` event; the stream ends with one
+// terminal event named after the final state.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, cancelSub, err := s.pool.Subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	defer cancelSub()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		select {
+		case pr, open := <-ch:
+			if !open {
+				// Terminal: emit the final payload and end the stream.
+				if st, err := s.pool.Job(id); err == nil {
+					writeSSE(w, fl, string(st.State), payloadFor(st))
+				}
+				return
+			}
+			writeSSE(w, fl, "progress", pr)
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, fl http.Flusher, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	fl.Flush()
+}

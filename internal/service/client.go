@@ -1,0 +1,175 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"bump/internal/sim"
+)
+
+// Client talks to a bumpd server over the /v1 API. The zero poll
+// interval defaults to 250ms.
+type Client struct {
+	base string
+	http *http.Client
+	// PollInterval paces Wait's status polling.
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for a server base URL (e.g.
+// "http://localhost:8344").
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// APIError is a non-2xx server response; Code carries the HTTP status
+// so callers can branch on it (e.g. 404 = not found).
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: server returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{Code: resp.StatusCode, Message: resp.Status}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			apiErr.Message = e.Error
+		}
+		return apiErr
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("service: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Submit posts a job spec and returns the server's status snapshot
+// (which may already be done on a cache hit).
+func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var p JobPayload
+	if err := c.do(req, &p); err != nil {
+		return JobStatus{}, err
+	}
+	return p.JobStatus, nil
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	var p JobPayload
+	if err := c.do(req, &p); err != nil {
+		return JobStatus{}, err
+	}
+	return p.JobStatus, nil
+}
+
+// ResultByHash fetches a cached result by config hash.
+func (c *Client) ResultByHash(hash string) (sim.Result, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/results/"+hash, nil)
+	if err != nil {
+		return sim.Result{}, false, err
+	}
+	var p ResultPayload
+	if err := c.do(req, &p); err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Code == http.StatusNotFound {
+			return sim.Result{}, false, nil
+		}
+		return sim.Result{}, false, err
+	}
+	return p.Result, true, nil
+}
+
+// Health fetches /v1/healthz.
+func (c *Client) Health() (HealthPayload, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return HealthPayload{}, err
+	}
+	var h HealthPayload
+	if err := c.do(req, &h); err != nil {
+		return HealthPayload{}, err
+	}
+	return h, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	poll := c.PollInterval
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Run submits a spec and blocks for its result — the remote counterpart
+// of Pool.Run.
+func (c *Client) Run(ctx context.Context, spec JobSpec) (sim.Result, error) {
+	st, err := c.Submit(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	if !st.State.Terminal() {
+		st, err = c.Wait(ctx, st.ID)
+		if err != nil {
+			return sim.Result{}, err
+		}
+	}
+	if st.State != StateDone || st.Result == nil {
+		return sim.Result{}, fmt.Errorf("service: job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	return *st.Result, nil
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+
+	"bump/internal/sim"
+)
+
+// ErrNotHashable marks configurations whose identity cannot be captured
+// by value — today, configs carrying a Streams hook (the stream is code,
+// not data, so two hooks can never be proven equivalent).
+var ErrNotHashable = errors.New("service: config with custom Streams is not hashable")
+
+// hashVersion is bumped whenever the canonical encoding (or the meaning
+// of an encoded field) changes, so stale cached results can never be
+// returned across incompatible versions.
+const hashVersion = "bump-config-v1"
+
+// Hash returns the canonical content hash of a resolved configuration:
+// two configs hash equal iff every identity-bearing field is equal. The
+// encoding walks the config structure reflectively in declared field
+// order, so adding a field to any config struct automatically changes
+// the hash space (no silently-unhashed knobs).
+func Hash(cfg sim.Config) (string, error) {
+	if cfg.Streams != nil {
+		return "", ErrNotHashable
+	}
+	h := sha256.New()
+	io.WriteString(h, hashVersion)
+	if err := writeCanonical(h, reflect.ValueOf(cfg), "cfg"); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// HashSpec resolves and hashes a job spec in one step.
+func HashSpec(spec JobSpec) (string, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return "", err
+	}
+	return Hash(cfg)
+}
+
+// writeCanonical emits a deterministic byte encoding of v: structs
+// recurse in declared field order, scalars print as "path=value\n".
+// Func-typed fields must be nil (checked by Hash for Streams; any other
+// non-nil func is an error so it can never be silently ignored).
+func writeCanonical(w io.Writer, v reflect.Value, path string) error {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				return fmt.Errorf("service: unexported config field %s.%s", path, f.Name)
+			}
+			if err := writeCanonical(w, v.Field(i), path+"."+f.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Func:
+		if !v.IsNil() {
+			return fmt.Errorf("service: config field %s holds code and cannot be hashed", path)
+		}
+		return nil
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "%s.len=%d\n", path, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			if err := writeCanonical(w, v.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		fmt.Fprintf(w, "%s=%v\n", path, v.Interface())
+		return nil
+	default:
+		// Maps, pointers, channels, interfaces: no config struct uses
+		// them today; fail loudly if one appears rather than hash it
+		// non-deterministically.
+		return fmt.Errorf("service: cannot canonically encode %s (kind %s)", path, v.Kind())
+	}
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"errors"
+	"testing"
+
+	"bump/internal/sim"
+	"bump/internal/workload"
+)
+
+func specFixture() JobSpec {
+	return JobSpec{
+		Workload:      "web-search",
+		Mechanism:     "bump",
+		WarmupCycles:  20_000,
+		MeasureCycles: 50_000,
+	}
+}
+
+func mustHash(t *testing.T, spec JobSpec) string {
+	t.Helper()
+	h, err := HashSpec(spec)
+	if err != nil {
+		t.Fatalf("HashSpec: %v", err)
+	}
+	return h
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := mustHash(t, specFixture())
+	b := mustHash(t, specFixture())
+	if a != b {
+		t.Fatalf("identical specs hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("hash length %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestHashSeparatesIdentityFields(t *testing.T) {
+	base := mustHash(t, specFixture())
+	mutations := map[string]func(*JobSpec){
+		"workload":        func(s *JobSpec) { s.Workload = "data-serving" },
+		"mechanism":       func(s *JobSpec) { s.Mechanism = "base-open" },
+		"seed":            func(s *JobSpec) { s.Seed = 7 },
+		"warmup":          func(s *JobSpec) { s.WarmupCycles = 30_000 },
+		"measure":         func(s *JobSpec) { s.MeasureCycles = 60_000 },
+		"region shift":    func(s *JobSpec) { s.RegionShift = 9 },
+		"threshold":       func(s *JobSpec) { s.DensityThreshold = 4 },
+		"row-hit streak":  func(s *JobSpec) { s.MaxRowHitStreak = 4 },
+		"no prefetcher":   func(s *JobSpec) { s.DisablePrefetcher = true },
+		"block interleam": func(s *JobSpec) { s.ForceBlockInterleave = true },
+	}
+	for name, mutate := range mutations {
+		spec := specFixture()
+		mutate(&spec)
+		if mustHash(t, spec) == base {
+			t.Errorf("%s change did not change the hash", name)
+		}
+	}
+}
+
+func TestHashIgnoresSchedulingFields(t *testing.T) {
+	base := mustHash(t, specFixture())
+	spec := specFixture()
+	spec.Priority = 9
+	spec.TimeoutMS = 1234
+	if mustHash(t, spec) != base {
+		t.Error("priority/timeout are scheduling hints and must not change the hash")
+	}
+}
+
+func TestHashRejectsStreams(t *testing.T) {
+	cfg := sim.DefaultConfig(sim.BuMP, workload.WebSearch())
+	cfg.Streams = func(core int) workload.Stream { return nil }
+	if _, err := Hash(cfg); !errors.Is(err, ErrNotHashable) {
+		t.Fatalf("Hash with Streams: got %v, want ErrNotHashable", err)
+	}
+}
+
+func TestHashCoversEveryConfigField(t *testing.T) {
+	// The canonical encoder walks the config reflectively, so a freshly
+	// added field is hashed automatically — but only if it is exported
+	// and of an encodable kind. Hashing a default config exercises the
+	// full walk and fails loudly on any regression.
+	cfg := sim.DefaultConfig(sim.BuMP, workload.WebSearch())
+	if _, err := Hash(cfg); err != nil {
+		t.Fatalf("default config must be hashable: %v", err)
+	}
+}
+
+func TestSpecConfigValidation(t *testing.T) {
+	bad := specFixture()
+	bad.Workload = "no-such-workload"
+	if _, err := bad.Config(); err == nil {
+		t.Error("unknown workload must fail")
+	}
+	bad = specFixture()
+	bad.Mechanism = "no-such-mechanism"
+	if _, err := bad.Config(); err == nil {
+		t.Error("unknown mechanism must fail")
+	}
+	// Defaulted mechanism.
+	def := specFixture()
+	def.Mechanism = ""
+	cfg, err := def.Config()
+	if err != nil {
+		t.Fatalf("empty mechanism must default: %v", err)
+	}
+	if cfg.Mechanism != sim.BuMP {
+		t.Errorf("default mechanism = %v, want bump", cfg.Mechanism)
+	}
+}

@@ -1,0 +1,497 @@
+package service
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bump/internal/sim"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: queued → running → {done, failed, canceled}. A
+// cache-hit submission is born done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Options configures a Pool. Zero values pick production defaults.
+type Options struct {
+	// Workers bounds concurrent simulations (default: GOMAXPROCS, which
+	// respects user and cgroup CPU limits).
+	Workers int
+	// CacheEntries sizes the LRU result cache (default 256).
+	CacheEntries int
+	// RetainJobs bounds terminal job records kept for status queries
+	// (default 4096; oldest are dropped first).
+	RetainJobs int
+	// DefaultTimeout applies to jobs that do not set TimeoutMS
+	// (default: no timeout).
+	DefaultTimeout time.Duration
+	// ProgressInterval is the cycle stride between progress events
+	// (default: 1/64 of each run).
+	ProgressInterval uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.RetainJobs <= 0 {
+		o.RetainJobs = 4096
+	}
+	return o
+}
+
+// job is the pool-internal record; JobStatus is its exported snapshot.
+type job struct {
+	id       string
+	hash     string
+	spec     JobSpec
+	cfg      sim.Config
+	priority int
+	seq      uint64
+	timeout  time.Duration
+
+	heapIndex int // position in the queue heap; -1 when not queued
+
+	state       State
+	cached      bool
+	result      sim.Result
+	errMsg      string
+	progress    sim.Progress
+	hasProgress bool
+
+	subs    map[int]chan sim.Progress
+	nextSub int
+	cancel  context.CancelFunc // set while running
+	done    chan struct{}      // closed at terminal state
+}
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	Hash     string  `json:"hash"`
+	State    State   `json:"state"`
+	Cached   bool    `json:"cached,omitempty"`
+	Priority int     `json:"priority,omitempty"`
+	Spec     JobSpec `json:"spec"`
+	// Progress is the latest engine snapshot (running jobs only).
+	Progress *sim.Progress `json:"progress,omitempty"`
+	// Result is set once State is done.
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// PoolStats summarises pool health (served by /v1/healthz).
+type PoolStats struct {
+	Workers    int        `json:"workers"`
+	Queued     int        `json:"queued"`
+	Running    int        `json:"running"`
+	Completed  uint64     `json:"completed"`
+	Executions uint64     `json:"executions"`
+	Coalesced  uint64     `json:"coalesced"`
+	Cache      CacheStats `json:"cache"`
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: pool is closed")
+
+// ErrUnknownJob is returned for job IDs the pool no longer (or never)
+// tracks.
+var ErrUnknownJob = errors.New("service: unknown job")
+
+// Pool executes simulation jobs on a bounded set of workers with
+// priority scheduling, duplicate coalescing and result caching.
+type Pool struct {
+	opts  Options
+	cache *resultCache
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  jobQueue
+	jobs   map[string]*job
+	byHash map[string]*job // active (queued/running) job per config hash
+	retain []string        // terminal job ids, oldest first
+	seq    uint64
+	closed bool
+
+	running    int
+	completed  uint64
+	executions uint64
+	coalesced  uint64
+
+	wg sync.WaitGroup
+}
+
+// NewPool starts a pool with opts' worker count.
+func NewPool(opts Options) *Pool {
+	p := &Pool{
+		opts:   opts.withDefaults(),
+		jobs:   make(map[string]*job),
+		byHash: make(map[string]*job),
+	}
+	p.cache = newResultCache(p.opts.CacheEntries)
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < p.opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a job (or joins an equivalent one). Three outcomes:
+// a cached result returns a job born done; a hash matching an active
+// job coalesces onto it (the returned status carries the *existing*
+// job's ID — both submitters observe one execution); otherwise a fresh
+// job is queued.
+func (p *Pool) Submit(spec JobSpec) (JobStatus, error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hash, err := Hash(cfg)
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return JobStatus{}, ErrClosed
+	}
+
+	// Coalesce onto an in-flight duplicate; a higher-priority duplicate
+	// promotes the queued original.
+	if active, ok := p.byHash[hash]; ok {
+		p.coalesced++
+		if spec.Priority > active.priority && active.heapIndex >= 0 {
+			active.priority = spec.Priority
+			heap.Fix(&p.queue, active.heapIndex)
+		}
+		return p.statusLocked(active), nil
+	}
+
+	j := p.newJobLocked(spec, cfg, hash)
+	if res, ok := p.cache.get(hash); ok {
+		j.state = StateDone
+		j.cached = true
+		j.result = res
+		close(j.done)
+		p.retainTerminalLocked(j)
+		return p.statusLocked(j), nil
+	}
+
+	j.state = StateQueued
+	p.byHash[hash] = j
+	heap.Push(&p.queue, j)
+	p.cond.Signal()
+	return p.statusLocked(j), nil
+}
+
+func (p *Pool) newJobLocked(spec JobSpec, cfg sim.Config, hash string) *job {
+	p.seq++
+	timeout := p.opts.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	j := &job{
+		id:        fmt.Sprintf("j%08d", p.seq),
+		hash:      hash,
+		spec:      spec,
+		cfg:       cfg,
+		priority:  spec.Priority,
+		seq:       p.seq,
+		timeout:   timeout,
+		heapIndex: -1,
+		done:      make(chan struct{}),
+	}
+	p.jobs[j.id] = j
+	return j
+}
+
+// Job returns a job's current status.
+func (p *Pool) Job(id string) (JobStatus, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	return p.statusLocked(j), nil
+}
+
+// ResultByHash returns the cached result for a config hash, if present.
+func (p *Pool) ResultByHash(hash string) (sim.Result, bool) {
+	return p.cache.get(hash)
+}
+
+// Wait blocks until the job reaches a terminal state (or ctx expires)
+// and returns its final status.
+func (p *Pool) Wait(ctx context.Context, id string) (JobStatus, error) {
+	p.mu.Lock()
+	j, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return JobStatus{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.statusLocked(j), nil
+}
+
+// Run is the synchronous convenience path (cmd/sweep's in-process
+// mode): submit, wait, and unwrap the result.
+func (p *Pool) Run(ctx context.Context, spec JobSpec) (sim.Result, error) {
+	st, err := p.Submit(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	st, err = p.Wait(ctx, st.ID)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	switch st.State {
+	case StateDone:
+		return *st.Result, nil
+	case StateCanceled:
+		return sim.Result{}, sim.ErrCanceled
+	default:
+		return sim.Result{}, fmt.Errorf("service: job %s %s: %s", st.ID, st.State, st.Error)
+	}
+}
+
+// Subscribe returns a channel of progress snapshots for a job. The
+// channel closes when the job reaches a terminal state (read the final
+// status via Job). The returned cancel function detaches the
+// subscription; it is safe to call multiple times. Slow subscribers
+// lose intermediate snapshots, never the closure.
+func (p *Pool) Subscribe(id string) (<-chan sim.Progress, func(), error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return nil, nil, ErrUnknownJob
+	}
+	ch := make(chan sim.Progress, 16)
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}, nil
+	}
+	if j.subs == nil {
+		j.subs = make(map[int]chan sim.Progress)
+	}
+	key := j.nextSub
+	j.nextSub++
+	j.subs[key] = ch
+	cancel := func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if c, ok := j.subs[key]; ok {
+			delete(j.subs, key)
+			close(c)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// Cancel aborts a job: a queued job is dequeued immediately, a running
+// one has its context canceled (the simulation stops at the next hook
+// interval). Returns false for unknown or already-terminal jobs.
+func (p *Pool) Cancel(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok || j.state.Terminal() {
+		return false
+	}
+	if j.heapIndex >= 0 { // still queued
+		heap.Remove(&p.queue, j.heapIndex)
+		j.state = StateCanceled
+		p.finishLocked(j)
+		return true
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// Stats snapshots pool health.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	st := PoolStats{
+		Workers:    p.opts.Workers,
+		Queued:     len(p.queue),
+		Running:    p.running,
+		Completed:  p.completed,
+		Executions: p.executions,
+		Coalesced:  p.coalesced,
+	}
+	p.mu.Unlock()
+	st.Cache = p.cache.stats()
+	return st
+}
+
+// Close shuts the pool down: queued jobs are canceled, running jobs'
+// contexts are canceled (they stop at the next hook interval), and
+// Close returns once every worker has exited.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		for len(p.queue) > 0 {
+			j := heap.Pop(&p.queue).(*job)
+			j.state = StateCanceled
+			p.finishLocked(j)
+		}
+		for _, j := range p.jobs {
+			if j.state == StateRunning && j.cancel != nil {
+				j.cancel()
+			}
+		}
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker pops and executes jobs until the pool closes.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&p.queue).(*job)
+		j.state = StateRunning
+		p.running++
+		p.executions++
+		ctx, cancel := context.WithCancel(context.Background())
+		if j.timeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), j.timeout)
+		}
+		j.cancel = cancel
+		p.mu.Unlock()
+
+		res, err := sim.RunOneWithHooks(j.cfg, sim.Hooks{
+			Interval: p.opts.ProgressInterval,
+			Progress: func(pr sim.Progress) { p.publish(j, pr) },
+			Cancel:   func() bool { return ctx.Err() != nil },
+		})
+		timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
+		cancel()
+
+		p.mu.Lock()
+		p.running--
+		j.cancel = nil
+		switch {
+		case err == nil:
+			j.state = StateDone
+			j.result = res
+			p.cache.put(j.hash, res)
+		case errors.Is(err, sim.ErrCanceled) && timedOut:
+			j.state = StateFailed
+			j.errMsg = fmt.Sprintf("timeout after %s", j.timeout)
+		case errors.Is(err, sim.ErrCanceled):
+			j.state = StateCanceled
+		default:
+			j.state = StateFailed
+			j.errMsg = err.Error()
+		}
+		p.finishLocked(j)
+		p.mu.Unlock()
+	}
+}
+
+// publish delivers a progress snapshot to the job record and its
+// subscribers (drop-on-full: a stalled subscriber only loses
+// intermediate snapshots).
+func (p *Pool) publish(j *job, pr sim.Progress) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j.progress = pr
+	j.hasProgress = true
+	for _, ch := range j.subs {
+		select {
+		case ch <- pr:
+		default:
+		}
+	}
+}
+
+// finishLocked moves a job into its (already set) terminal state:
+// releases the hash reservation, closes subscriber channels and the
+// done gate, and enrolls the record in the bounded retention window.
+func (p *Pool) finishLocked(j *job) {
+	if p.byHash[j.hash] == j {
+		delete(p.byHash, j.hash)
+	}
+	for k, ch := range j.subs {
+		delete(j.subs, k)
+		close(ch)
+	}
+	close(j.done)
+	p.completed++
+	p.retainTerminalLocked(j)
+}
+
+// retainTerminalLocked bounds the terminal-job history.
+func (p *Pool) retainTerminalLocked(j *job) {
+	p.retain = append(p.retain, j.id)
+	for len(p.retain) > p.opts.RetainJobs {
+		delete(p.jobs, p.retain[0])
+		p.retain = p.retain[1:]
+	}
+}
+
+// statusLocked snapshots a job (result and progress are copied so the
+// caller can use them outside the lock).
+func (p *Pool) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:       j.id,
+		Hash:     j.hash,
+		State:    j.state,
+		Cached:   j.cached,
+		Priority: j.priority,
+		Spec:     j.spec,
+		Error:    j.errMsg,
+	}
+	if j.hasProgress && !j.state.Terminal() {
+		pr := j.progress
+		st.Progress = &pr
+	}
+	if j.state == StateDone {
+		r := j.result
+		st.Result = &r
+	}
+	return st
+}

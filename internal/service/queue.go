@@ -1,0 +1,37 @@
+package service
+
+// jobQueue is a max-heap of queued jobs ordered by (priority desc,
+// submission order asc): higher priority runs first, FIFO within a
+// priority level. It is guarded by the owning Pool's mutex.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].priority != q[j].priority {
+		return q[i].priority > q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIndex = i
+	q[j].heapIndex = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*job)
+	j.heapIndex = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*q = old[:n-1]
+	return j
+}

@@ -1,0 +1,83 @@
+// Package service turns the batch simulator into a servable subsystem:
+// canonical configuration hashing, an in-memory priority job queue with
+// duplicate coalescing, a bounded worker pool executing sim runs, and an
+// LRU result cache keyed by config hash. cmd/bumpd exposes the pool over
+// HTTP/JSON (see api.go); cmd/sweep drives the same Pool API in-process.
+package service
+
+import (
+	"fmt"
+
+	"bump/internal/sim"
+	"bump/internal/workload"
+)
+
+// JobSpec is the wire-format description of one simulation job. It names
+// a workload preset and mechanism plus the deltas from the paper's
+// Table II defaults, so specs stay small, serialisable and hashable
+// (unlike a raw sim.Config, whose Streams hook is code).
+type JobSpec struct {
+	// Workload is a preset name (e.g. "web-search"); Mechanism is a
+	// mechanism name (e.g. "bump", "base-open").
+	Workload  string `json:"workload"`
+	Mechanism string `json:"mechanism"`
+	// Seed defaults to 1, matching sim.DefaultConfig.
+	Seed int64 `json:"seed,omitempty"`
+	// WarmupCycles/MeasureCycles override the default windows when
+	// non-zero.
+	WarmupCycles  uint64 `json:"warmup_cycles,omitempty"`
+	MeasureCycles uint64 `json:"measure_cycles,omitempty"`
+
+	// Predictor and controller overrides (zero keeps the default).
+	RegionShift          uint `json:"region_shift,omitempty"`
+	DensityThreshold     uint `json:"density_threshold,omitempty"`
+	MaxRowHitStreak      int  `json:"max_row_hit_streak,omitempty"`
+	DisablePrefetcher    bool `json:"disable_prefetcher,omitempty"`
+	ForceBlockInterleave bool `json:"force_block_interleave,omitempty"`
+
+	// Priority orders the queue (higher runs first; equal priority is
+	// FIFO). TimeoutMS bounds the run's wall-clock time (0 uses the
+	// pool default). Both affect scheduling only, never the result, so
+	// they are excluded from the config hash.
+	Priority  int   `json:"priority,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Config resolves the spec to a full simulator configuration.
+func (s JobSpec) Config() (sim.Config, error) {
+	w, ok := workload.ByName(s.Workload)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("service: unknown workload %q", s.Workload)
+	}
+	mechName := s.Mechanism
+	if mechName == "" {
+		mechName = "bump"
+	}
+	m, ok := sim.MechanismByName(mechName)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("service: unknown mechanism %q", s.Mechanism)
+	}
+	cfg := sim.DefaultConfig(m, w)
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.WarmupCycles != 0 {
+		cfg.WarmupCycles = s.WarmupCycles
+	}
+	if s.MeasureCycles != 0 {
+		cfg.MeasureCycles = s.MeasureCycles
+	}
+	if s.RegionShift != 0 {
+		cfg.BuMP.RegionShift = s.RegionShift
+	}
+	if s.DensityThreshold != 0 {
+		cfg.BuMP.DensityThreshold = s.DensityThreshold
+	}
+	cfg.MaxRowHitStreak = s.MaxRowHitStreak
+	cfg.DisablePrefetcher = s.DisablePrefetcher
+	cfg.ForceBlockInterleave = s.ForceBlockInterleave
+	if err := cfg.Validate(); err != nil {
+		return sim.Config{}, err
+	}
+	return cfg, nil
+}

@@ -68,6 +68,17 @@ func Mechanisms() []Mechanism {
 	return []Mechanism{BaseClose, BaseOpen, SMSOnly, VWQOnly, SMSVWQ, FullRegion, BuMP}
 }
 
+// MechanismByName resolves a mechanism from its String form (including
+// the bump+vwq extension, which Mechanisms omits from figure order).
+func MechanismByName(name string) (Mechanism, bool) {
+	for m := BaseClose; m <= BuMPVWQ; m++ {
+		if m.String() == name {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
 // Config is the full-system configuration (Table II defaults).
 type Config struct {
 	Cores int

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+
 	"bump/internal/cache"
 	"bump/internal/dram"
 	"bump/internal/energy"
@@ -8,6 +10,10 @@ import (
 	"bump/internal/noc"
 	"bump/internal/stats"
 )
+
+// ErrCanceled is returned by RunWithHooks when the Cancel hook reports
+// that the run should stop (job cancellation, timeout, shutdown).
+var ErrCanceled = errors.New("sim: run canceled")
 
 // Result holds the measurement-window deltas and derived metrics of one
 // run.
@@ -191,15 +197,108 @@ func (s *System) snapshot() snap {
 	}
 }
 
+// Progress is a periodic mid-run engine snapshot delivered to a
+// Hooks.Progress observer (the service layer streams these to clients).
+type Progress struct {
+	// Cycle and TotalCycles locate the run: Cycle advances from 0 to
+	// TotalCycles (= warmup + measurement window).
+	Cycle       uint64
+	TotalCycles uint64
+	// Events is the cumulative count of engine events dispatched so far.
+	Events uint64
+	// Instructions is the cumulative committed instruction count across
+	// all cores (warmup included).
+	Instructions uint64
+	// Measuring is true once the warmup window has completed.
+	Measuring bool
+}
+
+// Hooks attaches observation and control to a run. The zero value runs
+// each window in a single uninterrupted chunk, exactly like Run.
+type Hooks struct {
+	// Interval is the cycle stride between hook invocations; 0 picks
+	// 1/64 of the run when an observer is attached.
+	Interval uint64
+	// Progress, if non-nil, is called after every interval with the
+	// current engine snapshot. It runs on the simulation goroutine, so
+	// it must not block.
+	Progress func(Progress)
+	// Cancel, if non-nil, is polled at every interval; returning true
+	// aborts the run with ErrCanceled.
+	Cancel func() bool
+}
+
+// stride returns the chunk size for hooked runs over `total` cycles.
+func (h Hooks) stride(total uint64) uint64 {
+	if h.Progress == nil && h.Cancel == nil {
+		return total // unobserved: one chunk per window
+	}
+	if h.Interval > 0 {
+		return h.Interval
+	}
+	if step := total / 64; step > 0 {
+		return step
+	}
+	return 1
+}
+
+// runUntil advances the engine to `target` in hook-interval chunks,
+// invoking the progress and cancellation hooks between chunks. Chunked
+// execution dispatches the exact same event sequence as a single
+// eng.Run(target) call, so hooked and unhooked runs stay bit-identical.
+func (s *System) runUntil(target uint64, h Hooks, step, total uint64) error {
+	for {
+		now := s.eng.Now()
+		if now >= target {
+			return nil
+		}
+		next := now + step
+		if next > target {
+			next = target
+		}
+		s.eng.Run(next)
+		if h.Progress != nil {
+			var instr uint64
+			for _, c := range s.cores {
+				instr += c.instructions
+			}
+			h.Progress(Progress{
+				Cycle:        s.eng.Now(),
+				TotalCycles:  total,
+				Events:       s.eng.Executed,
+				Instructions: instr,
+				Measuring:    s.eng.Now() >= s.cfg.WarmupCycles,
+			})
+		}
+		if h.Cancel != nil && h.Cancel() {
+			return ErrCanceled
+		}
+	}
+}
+
 // Run executes the configured warmup and measurement windows and returns
 // the measurement-window result.
 func (s *System) Run() Result {
+	res, _ := s.RunWithHooks(Hooks{}) // zero hooks cannot cancel
+	return res
+}
+
+// RunWithHooks executes the run with periodic progress callbacks and
+// cancellation polling. On cancellation it returns ErrCanceled and a
+// zero Result.
+func (s *System) RunWithHooks(h Hooks) (Result, error) {
 	for _, c := range s.cores {
 		c.arm(0)
 	}
-	s.eng.Run(s.cfg.WarmupCycles)
+	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
+	step := h.stride(total)
+	if err := s.runUntil(s.cfg.WarmupCycles, h, step, total); err != nil {
+		return Result{}, err
+	}
 	before := s.snapshot()
-	s.eng.Run(s.cfg.WarmupCycles + s.cfg.MeasureCycles)
+	if err := s.runUntil(total, h, step, total); err != nil {
+		return Result{}, err
+	}
 	s.prof.Flush()
 	after := s.snapshot()
 
@@ -253,14 +352,20 @@ func (s *System) Run() Result {
 		res.EPAActivation = res.Energy.DRAMActivation / n
 		res.EPABurstIO = res.Energy.BurstIO() / n
 	}
-	return res
+	return res, nil
 }
 
 // RunOne is the convenience entry point: build and run one configuration.
 func RunOne(cfg Config) (Result, error) {
+	return RunOneWithHooks(cfg, Hooks{})
+}
+
+// RunOneWithHooks builds and runs one configuration with observation and
+// cancellation hooks attached.
+func RunOneWithHooks(cfg Config, h Hooks) (Result, error) {
 	s, err := New(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(), nil
+	return s.RunWithHooks(h)
 }

@@ -74,10 +74,10 @@ const (
 
 // Closure-free event handlers (event.Handler): the receiver rides in
 // obj; payload words carry the token / chain id / block address.
-func coreAdvanceH(obj any, _, _ uint64) { obj.(*coreRunner).advance() }
+func coreAdvanceH(obj any, _, _ uint64)   { obj.(*coreRunner).advance() }
 func chainDoneH(obj any, chain, _ uint64) { obj.(*coreRunner).chainDone(uint32(chain)) }
-func llcAccessH(obj any, tok, _ uint64) { obj.(*System).llcAccess(tok) }
-func deliverH(obj any, tok, blk uint64) { obj.(*System).deliver(tok, mem.BlockAddr(blk)) }
+func llcAccessH(obj any, tok, _ uint64)   { obj.(*System).llcAccess(tok) }
+func deliverH(obj any, tok, blk uint64)   { obj.(*System).deliver(tok, mem.BlockAddr(blk)) }
 
 // System is one fully wired simulated server.
 type System struct {
@@ -170,7 +170,7 @@ func New(cfg Config) (*System, error) {
 		if cfg.Streams != nil {
 			stream = cfg.Streams(i)
 		} else {
-			gen, err := workload.NewGenerator(cfg.Workload, cfg.Seed+int64(i)*7919)
+			gen, err := workload.NewGenerator(cfg.Workload, workload.CoreSeed(cfg.Seed, i))
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,102 @@
+// Package trace defines the on-disk access-trace format shared by
+// cmd/tracegen (capture), cmd/bumpsim (replay) and the simulation
+// service. A trace is one core's materialised access stream plus enough
+// metadata to reproduce it; replaying cycles through the recorded
+// accesses via workload.Replay.
+package trace
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"bump/internal/mem"
+	"bump/internal/workload"
+)
+
+// Trace is the gob-serialised form of a captured access stream.
+type Trace struct {
+	// Workload names the generator preset the trace was captured from
+	// (e.g. "web-search").
+	Workload string
+	// Core is the core index whose per-core seed produced the stream.
+	Core int
+	// Seed is the base seed the capture used.
+	Seed int64
+	// Accesses is the recorded stream in issue order.
+	Accesses []mem.Access
+}
+
+// Capture materialises n accesses of the named workload's stream for one
+// core, using the same per-core seed derivation as the simulator.
+func Capture(w workload.Params, core int, seed int64, n int) (*Trace, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("trace: access count must be positive")
+	}
+	gen, err := workload.NewGenerator(w, workload.CoreSeed(seed, core))
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Workload: w.Name, Core: core, Seed: seed, Accesses: make([]mem.Access, n)}
+	for i := range t.Accesses {
+		t.Accesses[i] = gen.Next()
+	}
+	return t, nil
+}
+
+// Encode writes the trace in gob format.
+func (t *Trace) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(t)
+}
+
+// Decode reads a gob-encoded trace.
+func Decode(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteFile writes the trace to path.
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a trace from path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Streams returns a sim.Config.Streams-shaped hook that replays the
+// trace on every core. Each core gets its own cyclic cursor over the
+// shared access slice, so replay runs are deterministic and allocate
+// only the per-core Replay wrappers.
+func (t *Trace) Streams() (func(core int) workload.Stream, error) {
+	if len(t.Accesses) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	accesses := t.Accesses
+	return func(core int) workload.Stream {
+		r, err := workload.NewReplay(accesses)
+		if err != nil {
+			// Non-emptiness was checked above; Replay cannot fail.
+			panic(err)
+		}
+		return r
+	}, nil
+}

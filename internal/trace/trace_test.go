@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bump/internal/workload"
+)
+
+func TestCaptureRoundTrip(t *testing.T) {
+	tr, err := Capture(workload.WebSearch(), 2, 7, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Workload != "web-search" || tr.Core != 2 || tr.Seed != 7 || len(tr.Accesses) != 5_000 {
+		t.Fatalf("capture metadata: %+v", tr)
+	}
+
+	path := filepath.Join(t.TempDir(), "t.gob")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != tr.Workload || got.Core != tr.Core || got.Seed != tr.Seed {
+		t.Fatalf("metadata changed across round trip: %+v", got)
+	}
+	if len(got.Accesses) != len(tr.Accesses) {
+		t.Fatalf("access count %d, want %d", len(got.Accesses), len(tr.Accesses))
+	}
+	for i := range got.Accesses {
+		if got.Accesses[i] != tr.Accesses[i] {
+			t.Fatalf("access %d changed across round trip", i)
+		}
+	}
+}
+
+func TestCaptureMatchesSimulatorSeedDerivation(t *testing.T) {
+	// The trace of (seed, core) must equal the stream the simulator
+	// would generate for that core.
+	tr, err := Capture(workload.WebSearch(), 3, 1, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.WebSearch(), workload.CoreSeed(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range tr.Accesses {
+		if want := gen.Next(); a != want {
+			t.Fatalf("access %d: trace %+v, simulator stream %+v", i, a, want)
+		}
+	}
+}
+
+func TestStreamsCycle(t *testing.T) {
+	tr, err := Capture(workload.WebSearch(), 0, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := tr.Streams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := streams(0)
+	first := make([]any, 10)
+	for i := range first {
+		first[i] = s.Next()
+	}
+	for i := 0; i < 10; i++ { // second lap repeats the trace
+		if s.Next() != first[i] {
+			t.Fatalf("cyclic replay diverged at %d", i)
+		}
+	}
+	// Independent per-core cursors.
+	a, b := streams(0), streams(1)
+	a.Next()
+	if got := b.Next(); got != first[0] {
+		t.Errorf("core streams share a cursor: %+v vs %+v", got, first[0])
+	}
+
+	empty := &Trace{}
+	if _, err := empty.Streams(); err == nil {
+		t.Error("empty trace must not produce streams")
+	}
+
+	if _, err := Capture(workload.WebSearch(), 0, 1, 0); err == nil {
+		t.Error("zero-length capture must fail")
+	}
+}

@@ -31,6 +31,12 @@ type Stream interface {
 	Next() mem.Access
 }
 
+// CoreSeed derives the per-core generator seed from a run's base seed.
+// The simulator, the trace capturer and the service all use this
+// derivation, so a captured trace reproduces the simulator's stream for
+// the same (seed, core) pair.
+func CoreSeed(base int64, core int) int64 { return base + int64(core)*7919 }
+
 // Replay is a Stream that cycles through a recorded trace. It lets
 // captured traces (cmd/tracegen) drive the simulator in place of the
 // synthetic generators.
