@@ -41,6 +41,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Minute, "default per-job timeout (0 = none)")
 		interval = flag.Uint64("progress-interval", 0, "cycles between progress events (0 = 1/64 of each run)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		warm     = flag.Bool("warm", false, "share warmup-end checkpoints between jobs that differ only in measured parameters")
+		warmSz   = flag.Int("warm-cache", 16, "warm-checkpoint cache entries (with -warm)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func main() {
 		RetainJobs:       *retain,
 		DefaultTimeout:   *timeout,
 		ProgressInterval: *interval,
+		WarmStarts:       *warm,
+		WarmEntries:      *warmSz,
 	})
 	srv := &http.Server{
 		Addr:        *addr,

@@ -8,9 +8,19 @@
 //	bumpsim -params                     # print Table II/III constants
 //	bumpsim -workload data-serving -mechanism full-region -measure 4000000
 //	bumpsim -trace trace.gob -mechanism bump   # replay a tracegen capture
+//
+// Checkpointing: -checkpoint-save writes the simulator's full state at
+// the end of the warmup window; -checkpoint-load restores such a file
+// into a structurally identical configuration and runs only the
+// measurement window (measured parameters — -measure and the row-hit
+// streak cap — may differ from the saving run):
+//
+//	bumpsim -workload web-search -mechanism bump -checkpoint-save warm.ckpt
+//	bumpsim -workload web-search -mechanism bump -checkpoint-load warm.ckpt -measure 4000000
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +41,8 @@ func main() {
 		measure      = flag.Uint64("measure", 0, "measurement cycles (0 = default)")
 		tracePath    = flag.String("trace", "", "replay a tracegen trace file on every core instead of the synthetic generators")
 		params       = flag.Bool("params", false, "print the architectural (Table II) and energy (Table III) parameters and exit")
+		ckptSave     = flag.String("checkpoint-save", "", "write a warmup-end checkpoint to this file")
+		ckptLoad     = flag.String("checkpoint-load", "", "restore a checkpoint instead of simulating the warmup")
 	)
 	flag.Parse()
 
@@ -85,12 +97,57 @@ func main() {
 			*tracePath, len(tr.Accesses), tr.Core, tr.Seed, cfg.Cores)
 	}
 
-	res, err := bump.Run(cfg)
+	res, err := runWithCheckpoints(cfg, *ckptSave, *ckptLoad)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bumpsim: %v\n", err)
 		os.Exit(1)
 	}
 	printReport(res)
+}
+
+// runWithCheckpoints executes cfg, optionally restoring warmed state
+// from loadPath and/or saving the warmup-end state to savePath.
+func runWithCheckpoints(cfg bump.Config, savePath, loadPath string) (bump.Result, error) {
+	if savePath == "" && loadPath == "" {
+		return bump.Run(cfg)
+	}
+	if savePath != "" && loadPath != "" {
+		// A restored system is already past its warmup, so the save
+		// hook would never fire; reject rather than silently writing
+		// nothing.
+		return bump.Result{}, fmt.Errorf("-checkpoint-save cannot be combined with -checkpoint-load (a restored run has no warmup end to checkpoint)")
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return bump.Result{}, err
+	}
+	if loadPath != "" {
+		f, err := os.Open(loadPath)
+		if err != nil {
+			return bump.Result{}, err
+		}
+		err = s.Restore(f)
+		f.Close()
+		if err != nil {
+			return bump.Result{}, fmt.Errorf("restore %s: %w", loadPath, err)
+		}
+		fmt.Printf("restored checkpoint %s at cycle %d (skipping warmup)\n", loadPath, s.Engine().Now())
+	}
+	var hooks sim.Hooks
+	if savePath != "" {
+		hooks.AtWarmupEnd = func() error {
+			var buf bytes.Buffer
+			if err := s.Snapshot(&buf); err != nil {
+				return err
+			}
+			if err := os.WriteFile(savePath, buf.Bytes(), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("saved warmup-end checkpoint to %s (%d bytes, cycle %d)\n", savePath, buf.Len(), s.Engine().Now())
+			return nil
+		}
+	}
+	return s.RunWithHooks(hooks)
 }
 
 func printReport(r bump.Result) {

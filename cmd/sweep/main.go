@@ -1,6 +1,6 @@
 // Command sweep runs parameter sweeps and emits CSV for plotting: every
-// (workload, mechanism) pair, the Fig. 11 design grid, or a multi-seed
-// confidence run.
+// (workload, mechanism) pair, the Fig. 11 design grid, a multi-seed
+// confidence run, or the FR-FCFS fairness-cap sweep.
 //
 // Every mode expresses its matrix as a batch of service job specs. By
 // default the batch executes on an in-process service.Pool (bounded
@@ -9,11 +9,18 @@
 // responses, so many sweep clients can share one simulation service and
 // its cache.
 //
+// With -warm the in-process pool shares warmup-end checkpoints between
+// sweep points whose configurations differ only in measured parameters:
+// the fairness mode's sixteen row-hit-streak caps then simulate one
+// warmup total instead of sixteen. (Against a -server, enable warm
+// starts on bumpd instead.)
+//
 // Usage:
 //
 //	sweep -mode systems  > systems.csv
 //	sweep -mode design   > design.csv
 //	sweep -mode seeds -workload web-search -n 5 > seeds.csv
+//	sweep -mode fairness -workload web-search -warm > fairness.csv
 //	sweep -mode systems -server http://localhost:8344 > systems.csv
 package main
 
@@ -100,20 +107,25 @@ func (r remoteRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
 
 func main() {
 	var (
-		mode         = flag.String("mode", "systems", "sweep mode: systems, design, seeds")
-		workloadName = flag.String("workload", "web-search", "workload for -mode seeds")
+		mode         = flag.String("mode", "systems", "sweep mode: systems, design, seeds, fairness")
+		workloadName = flag.String("workload", "web-search", "workload for -mode seeds and -mode fairness")
 		n            = flag.Int("n", 5, "seed count for -mode seeds")
 		warmup       = flag.Uint64("warmup", 700_000, "warmup cycles")
 		measure      = flag.Uint64("measure", 1_500_000, "measurement cycles")
 		server       = flag.String("server", "", "bumpd base URL (e.g. http://localhost:8344); empty runs in-process")
+		warm         = flag.Bool("warm", false, "share warmup-end checkpoints between in-process sweep points that differ only in measured parameters")
 	)
 	flag.Parse()
 
+	var pool *service.Pool
 	var run runner
 	if *server != "" {
+		if *warm {
+			fmt.Fprintln(os.Stderr, "sweep: -warm applies to in-process runs; enable warm starts on bumpd with its -warm flag")
+		}
 		run = remoteRunner{client: service.NewClient(*server)}
 	} else {
-		pool := service.NewPool(service.Options{})
+		pool = service.NewPool(service.Options{WarmStarts: *warm})
 		defer pool.Close()
 		run = localRunner{pool: pool}
 	}
@@ -172,6 +184,41 @@ func main() {
 		for i, res := range results {
 			w.Write([]string{specs[i].Workload, strconv.Itoa(1 << specs[i].RegionShift), strconv.Itoa(int(specs[i].DensityThreshold)),
 				f(res.RowHitRatio()), f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch())})
+		}
+	case "fairness":
+		// Sixteen FR-FCFS row-hit streak caps over one workload. The
+		// cap is a measured parameter, so with -warm all sixteen points
+		// restore one shared warm checkpoint.
+		wl, ok := bump.WorkloadByName(*workloadName)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *workloadName))
+		}
+		var specs []service.JobSpec
+		for cap := 0; cap < 16; cap++ {
+			spec := baseSpec(bump.MechBuMP, wl.Name)
+			spec.MaxRowHitStreak = cap
+			specs = append(specs, spec)
+		}
+		results, err := run.runAll(specs)
+		if err != nil {
+			fatal(err)
+		}
+		w.Write([]string{"streak_cap", "row_hit", "ipc", "epa_nj", "read_qdelay"})
+		for i, res := range results {
+			cap := "off"
+			if specs[i].MaxRowHitStreak > 0 {
+				cap = strconv.Itoa(specs[i].MaxRowHitStreak)
+			}
+			qd := 0.0
+			if res.Ctrl.Reads > 0 {
+				qd = float64(res.Ctrl.ReadQueueDelay) / float64(res.Ctrl.Reads)
+			}
+			w.Write([]string{cap, f(res.RowHitRatio()), f(res.IPC()), f(res.EPATotal * 1e9), f(qd)})
+		}
+		if pool != nil && *warm {
+			st := pool.Stats()
+			fmt.Fprintf(os.Stderr, "sweep: warm checkpoints: %d simulated / %d reused warmup cycles (%d hits, %d misses)\n",
+				st.Warm.WarmupCyclesSimulated, st.Warm.WarmupCyclesReused, st.Warm.Hits, st.Warm.Misses)
 		}
 	case "seeds":
 		wl, ok := bump.WorkloadByName(*workloadName)

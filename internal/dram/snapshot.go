@@ -1,0 +1,87 @@
+package dram
+
+import (
+	"fmt"
+
+	"bump/internal/snapshot"
+)
+
+// SnapshotTo serializes the device state: per-bank row-buffer and timing
+// readiness, per-rank activation/refresh history, per-channel data-bus
+// occupancy, and the event counters.
+func (d *DRAM) SnapshotTo(w *snapshot.Writer) {
+	w.Section("dram")
+	w.U32(uint32(d.cfg.Channels))
+	w.U32(uint32(d.cfg.RanksPerChannel))
+	w.U32(uint32(d.cfg.BanksPerRank))
+	w.Any(d.stats)
+	for c := range d.channels {
+		ch := &d.channels[c]
+		w.I64(ch.dataFree)
+		for i := range ch.banks {
+			b := &ch.banks[i]
+			w.Bool(b.open)
+			w.U64(b.row)
+			w.I64(b.actReady)
+			w.I64(b.rwReady)
+			w.I64(b.preReady)
+		}
+		for i := range ch.ranks {
+			rk := &ch.ranks[i]
+			w.I64(rk.lastAct)
+			for _, t := range rk.actTimes {
+				w.I64(t)
+			}
+			w.U32(uint32(rk.actIdx))
+			w.I64(rk.wrDataEnd)
+			w.I64(rk.refDone)
+			w.I64(rk.refCount)
+		}
+	}
+}
+
+// RestoreFrom replaces the device state with a snapshot's. The device
+// must have the organisation the snapshot was taken from.
+func (d *DRAM) RestoreFrom(r *snapshot.Reader) error {
+	r.Section("dram")
+	chs, ranks, banks := r.U32(), r.U32(), r.U32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if int(chs) != d.cfg.Channels || int(ranks) != d.cfg.RanksPerChannel || int(banks) != d.cfg.BanksPerRank {
+		return fmt.Errorf("dram: snapshot organisation %d/%d/%d, device is %d/%d/%d",
+			chs, ranks, banks, d.cfg.Channels, d.cfg.RanksPerChannel, d.cfg.BanksPerRank)
+	}
+	r.AnyInto(&d.stats)
+	for c := range d.channels {
+		ch := &d.channels[c]
+		ch.dataFree = r.I64()
+		for i := range ch.banks {
+			b := &ch.banks[i]
+			b.open = r.Bool()
+			b.row = r.U64()
+			b.actReady = r.I64()
+			b.rwReady = r.I64()
+			b.preReady = r.I64()
+		}
+		for i := range ch.ranks {
+			rk := &ch.ranks[i]
+			rk.lastAct = r.I64()
+			for j := range rk.actTimes {
+				rk.actTimes[j] = r.I64()
+			}
+			idx := r.U32()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if int(idx) >= len(rk.actTimes) {
+				return fmt.Errorf("dram: tFAW index %d out of range", idx)
+			}
+			rk.actIdx = int(idx)
+			rk.wrDataEnd = r.I64()
+			rk.refDone = r.I64()
+			rk.refCount = r.I64()
+		}
+	}
+	return r.Err()
+}

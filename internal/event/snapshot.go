@@ -1,0 +1,201 @@
+package event
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"bump/internal/snapshot"
+)
+
+// Handler registry: checkpointing an engine requires naming the handler
+// of every pending event, so handlers used on steady-state simulation
+// paths register themselves under a stable string key at package init.
+// Closure events (At/After) are intentionally unregistered — they cannot
+// be serialized — and snapshotting an engine with one pending is an
+// error.
+var handlerReg = struct {
+	sync.RWMutex
+	byName map[string]Handler
+	byPtr  map[uintptr]string
+}{
+	byName: make(map[string]Handler),
+	byPtr:  make(map[uintptr]string),
+}
+
+// RegisterHandler records h under a stable name for snapshot/restore and
+// returns h (so call sites can register at var-initialization time).
+// Registering two different handlers under one name panics.
+func RegisterHandler(name string, h Handler) Handler {
+	ptr := reflect.ValueOf(h).Pointer()
+	handlerReg.Lock()
+	defer handlerReg.Unlock()
+	if old, ok := handlerReg.byName[name]; ok && reflect.ValueOf(old).Pointer() != ptr {
+		panic("event: handler name registered twice: " + name)
+	}
+	handlerReg.byName[name] = h
+	handlerReg.byPtr[ptr] = name
+	return h
+}
+
+func handlerName(h Handler) (string, bool) {
+	handlerReg.RLock()
+	defer handlerReg.RUnlock()
+	name, ok := handlerReg.byPtr[reflect.ValueOf(h).Pointer()]
+	return name, ok
+}
+
+func handlerByName(name string) (Handler, bool) {
+	handlerReg.RLock()
+	defer handlerReg.RUnlock()
+	h, ok := handlerReg.byName[name]
+	return h, ok
+}
+
+// liveOrder returns the indices of all pending events in canonical
+// dispatch-independent order: wheel events by cycle then FIFO position,
+// followed by overflow events sorted by (at, seq). Two engines holding
+// the same pending-event multiset serialize identically regardless of
+// slab layout or heap history.
+func (e *Engine) liveOrder() []int32 {
+	order := make([]int32, 0, e.wheelCount+len(e.overflow))
+	if e.wheelCount > 0 {
+		for k := uint64(0); k < wheelSize; k++ {
+			for idx := e.buckets[(e.now+k)&wheelMask].head; idx != nilIdx; idx = e.nodes[idx].next {
+				order = append(order, idx)
+			}
+		}
+	}
+	ovf := append([]int32(nil), e.overflow...)
+	sort.Slice(ovf, func(i, j int) bool { return e.heapLess(ovf[i], ovf[j]) })
+	return append(order, ovf...)
+}
+
+// Snapshot serializes the engine: clock, sequence counter, executed
+// count, and every pending event as (at, seq, payload, handler name,
+// object reference). encObj maps each event's receiver to a stable
+// reference the owning simulator defines; it must reject objects it does
+// not recognise.
+func (e *Engine) Snapshot(w *snapshot.Writer, encObj func(any) (uint32, error)) error {
+	w.Section("engine")
+	w.U64(e.now)
+	w.U64(e.seq)
+	w.U64(e.Executed)
+
+	order := e.liveOrder()
+
+	// Handler name table, in first-appearance order.
+	names := make([]string, 0, 8)
+	nameIdx := make(map[string]uint32, 8)
+	for _, idx := range order {
+		n := &e.nodes[idx]
+		name, ok := handlerName(n.h)
+		if !ok {
+			return fmt.Errorf("event: pending event at cycle %d has an unregistered handler (closure events cannot be checkpointed)", n.at)
+		}
+		if _, seen := nameIdx[name]; !seen {
+			nameIdx[name] = uint32(len(names))
+			names = append(names, name)
+		}
+	}
+	w.U32(uint32(len(names)))
+	for _, name := range names {
+		w.String(name)
+	}
+
+	w.U32(uint32(len(order)))
+	for _, idx := range order {
+		n := &e.nodes[idx]
+		obj, err := encObj(n.obj)
+		if err != nil {
+			return fmt.Errorf("event: pending event at cycle %d: %w", n.at, err)
+		}
+		w.U64(n.at)
+		w.U64(n.seq)
+		w.U64(n.a0)
+		w.U64(n.a1)
+		w.U32(nameIdx[handlerMustName(n.h)])
+		w.U32(obj)
+	}
+	return nil
+}
+
+func handlerMustName(h Handler) string {
+	name, _ := handlerName(h)
+	return name
+}
+
+// Restore replaces the engine's entire state with the snapshot's. decObj
+// resolves the object references encObj produced. The engine's previous
+// events, clock and counters are discarded.
+func (e *Engine) Restore(r *snapshot.Reader, decObj func(uint32) (any, error)) error {
+	r.Section("engine")
+	now := r.U64()
+	seq := r.U64()
+	executed := r.U64()
+
+	nNames := r.Len(5) // string: u32 len + >=1 byte
+	handlers := make([]Handler, 0, nNames)
+	for i := 0; i < nNames; i++ {
+		name := r.String()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		h, ok := handlerByName(name)
+		if !ok {
+			return fmt.Errorf("event: snapshot references unknown handler %q", name)
+		}
+		handlers = append(handlers, h)
+	}
+
+	nEvents := r.Len(8*4 + 4 + 4)
+	if r.Err() != nil {
+		return r.Err()
+	}
+
+	// Reset the engine before loading: restore is wholesale replacement.
+	e.now = now
+	e.seq = seq
+	e.Executed = executed
+	e.nodes = e.nodes[:0]
+	e.free = nilIdx
+	e.wheelCount = 0
+	e.overflow = e.overflow[:0]
+	for i := range e.buckets {
+		e.buckets[i] = bucket{head: nilIdx, tail: nilIdx}
+	}
+
+	for i := 0; i < nEvents; i++ {
+		at := r.U64()
+		evSeq := r.U64()
+		a0 := r.U64()
+		a1 := r.U64()
+		hIdx := r.U32()
+		objRef := r.U32()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if int(hIdx) >= len(handlers) {
+			return fmt.Errorf("event: handler index %d out of range", hIdx)
+		}
+		if at < now {
+			return fmt.Errorf("event: pending event at cycle %d predates clock %d", at, now)
+		}
+		if evSeq > seq {
+			return fmt.Errorf("event: event sequence %d beyond counter %d", evSeq, seq)
+		}
+		obj, err := decObj(objRef)
+		if err != nil {
+			return err
+		}
+		idx := e.alloc()
+		n := &e.nodes[idx]
+		n.at, n.seq, n.h, n.obj, n.a0, n.a1, n.next = at, evSeq, handlers[hIdx], obj, a0, a1, nilIdx
+		// Inserting in snapshot order reproduces each bucket's FIFO
+		// chain exactly; overflow events re-heapify by (at, seq), which
+		// is a total order, so pop order is preserved too.
+		e.insert(idx)
+	}
+	return r.Err()
+}

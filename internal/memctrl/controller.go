@@ -137,15 +137,20 @@ type Controller struct {
 }
 
 // Closure-free event handlers (event.Handler): the receiver rides in
-// obj, the channel or transaction-slot index in a0.
-func kickH(obj any, ch, _ uint64) {
-	c := obj.(*Controller)
-	c.queues[ch].kickArmed = false
-	c.issue(int(ch))
-}
+// obj, the channel or transaction-slot index in a0. They are registered
+// with the event package so pending kicks/completions survive a
+// checkpoint.
+var kickH, completeH event.Handler
 
-func completeH(obj any, idx, _ uint64) {
-	obj.(*Controller).complete(int32(idx))
+func init() {
+	kickH = event.RegisterHandler("memctrl.kick", func(obj any, ch, _ uint64) {
+		c := obj.(*Controller)
+		c.queues[ch].kickArmed = false
+		c.issue(int(ch))
+	})
+	completeH = event.RegisterHandler("memctrl.complete", func(obj any, idx, _ uint64) {
+		obj.(*Controller).complete(int32(idx))
+	})
 }
 
 // New wires a controller to a DRAM device and event engine.

@@ -1,0 +1,17 @@
+package noc
+
+import "bump/internal/snapshot"
+
+// SnapshotTo serializes the crossbar's message counters (its only
+// mutable state; the latency is configuration).
+func (x *Crossbar) SnapshotTo(w *snapshot.Writer) {
+	w.Section("noc")
+	w.Any(x.stats)
+}
+
+// RestoreFrom replaces the counters with a snapshot's.
+func (x *Crossbar) RestoreFrom(r *snapshot.Reader) error {
+	r.Section("noc")
+	r.AnyInto(&x.stats)
+	return r.Err()
+}

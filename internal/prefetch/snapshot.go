@@ -1,0 +1,184 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"bump/internal/mem"
+	"bump/internal/snapshot"
+)
+
+// Snapshotter is the optional checkpointing interface a Prefetcher may
+// implement; the simulator refuses to snapshot configurations whose
+// prefetcher does not.
+type Snapshotter interface {
+	SnapshotTo(w *snapshot.Writer)
+	RestoreFrom(r *snapshot.Reader) error
+}
+
+// SnapshotTo serializes the stride prefetcher's reference-prediction
+// table. Invalid entries collapse to one byte so equal states encode
+// identically.
+func (s *Stride) SnapshotTo(w *snapshot.Writer) {
+	w.Section("stride")
+	w.U32(uint32(s.degree))
+	w.U32(uint32(len(s.entries)))
+	w.U64(s.Issued)
+	for i := range s.entries {
+		e := &s.entries[i]
+		if !e.valid {
+			w.Bool(false)
+			continue
+		}
+		w.Bool(true)
+		w.U64(uint64(e.pc))
+		w.U64(uint64(e.last))
+		w.I64(e.stride)
+		w.Bool(e.confirmed)
+	}
+}
+
+// RestoreFrom replaces the stride state with a snapshot's.
+func (s *Stride) RestoreFrom(r *snapshot.Reader) error {
+	r.Section("stride")
+	degree, entries := r.U32(), r.U32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if int(degree) != s.degree || int(entries) != len(s.entries) {
+		return fmt.Errorf("prefetch: stride geometry %d/%d, have %d/%d", degree, entries, s.degree, len(s.entries))
+	}
+	s.Issued = r.U64()
+	for i := range s.entries {
+		if !r.Bool() {
+			s.entries[i] = strideEntry{}
+			continue
+		}
+		s.entries[i] = strideEntry{
+			pc:        mem.PC(r.U64()),
+			last:      mem.BlockAddr(r.U64()),
+			stride:    r.I64(),
+			confirmed: r.Bool(),
+			valid:     true,
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+	}
+	return r.Err()
+}
+
+// SnapshotTo serializes SMS: the active generation table in FIFO order
+// (which rebuilds both the map and the retirement queue) and the pattern
+// history table.
+func (s *SMS) SnapshotTo(w *snapshot.Writer) {
+	w.Section("sms")
+	w.U32(uint32(s.regionShift))
+	w.U32(uint32(s.agtCap))
+	w.U64(s.Trained)
+	w.U64(s.Triggered)
+	w.U32(uint32(len(s.agtFIFO)))
+	for _, region := range s.agtFIFO {
+		w.U64(uint64(region))
+		g, ok := s.agt[region]
+		w.Bool(ok)
+		if ok {
+			w.U64(uint64(g.pc))
+			w.U32(uint32(g.offset))
+			w.U64(g.pattern)
+		}
+	}
+	// PHT.
+	t := s.pht
+	w.U32(uint32(t.sets))
+	w.U32(uint32(t.ways))
+	w.U64(t.tick)
+	for i := range t.tags {
+		if !t.valid[i] {
+			w.Bool(false)
+			continue
+		}
+		w.Bool(true)
+		w.U64(t.tags[i])
+		w.U64(t.pats[i])
+		w.U64(t.use[i])
+	}
+}
+
+// RestoreFrom replaces the SMS state with a snapshot's.
+func (s *SMS) RestoreFrom(r *snapshot.Reader) error {
+	r.Section("sms")
+	shift, agtCap := r.U32(), r.U32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if uint(shift) != s.regionShift || int(agtCap) != s.agtCap {
+		return fmt.Errorf("prefetch: SMS geometry shift=%d cap=%d, have shift=%d cap=%d", shift, agtCap, s.regionShift, s.agtCap)
+	}
+	s.Trained = r.U64()
+	s.Triggered = r.U64()
+	n := r.Len(8 + 1)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n > s.agtCap {
+		return fmt.Errorf("prefetch: %d active generations exceed capacity %d", n, s.agtCap)
+	}
+	s.agt = make(map[mem.RegionAddr]*smsGen, n)
+	s.agtFIFO = make([]mem.RegionAddr, 0, n)
+	for i := 0; i < n; i++ {
+		region := mem.RegionAddr(r.U64())
+		hasGen := r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		s.agtFIFO = append(s.agtFIFO, region)
+		if hasGen {
+			if _, dup := s.agt[region]; dup {
+				return fmt.Errorf("prefetch: duplicate active generation for region %#x", uint64(region))
+			}
+			s.agt[region] = &smsGen{
+				pc:      mem.PC(r.U64()),
+				offset:  uint(r.U32()),
+				pattern: r.U64(),
+			}
+		}
+	}
+	t := s.pht
+	sets, ways := r.U32(), r.U32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if int(sets) != t.sets || int(ways) != t.ways {
+		return fmt.Errorf("prefetch: PHT geometry %dx%d, have %dx%d", sets, ways, t.sets, t.ways)
+	}
+	t.tick = r.U64()
+	for i := range t.tags {
+		ok := r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		t.valid[i] = ok
+		if !ok {
+			t.tags[i], t.pats[i], t.use[i] = 0, 0, 0
+			continue
+		}
+		t.tags[i] = r.U64()
+		t.pats[i] = r.U64()
+		t.use[i] = r.U64()
+		if r.Err() == nil && int(t.tags[i]%uint64(t.sets)) != i/t.ways {
+			return fmt.Errorf("prefetch: PHT entry %d holds signature %#x belonging to set %d", i, t.tags[i], t.tags[i]%uint64(t.sets))
+		}
+	}
+	return r.Err()
+}
+
+// Nil streams have no state.
+
+// SnapshotTo implements Snapshotter.
+func (Nil) SnapshotTo(w *snapshot.Writer) { w.Section("nil-prefetcher") }
+
+// RestoreFrom implements Snapshotter.
+func (Nil) RestoreFrom(r *snapshot.Reader) error {
+	r.Section("nil-prefetcher")
+	return r.Err()
+}

@@ -46,6 +46,20 @@ type Options struct {
 	// ProgressInterval is the cycle stride between progress events
 	// (default: 1/64 of each run).
 	ProgressInterval uint64
+	// WarmStarts enables the warm-checkpoint store: jobs that share a
+	// warmup trajectory (identical configs up to the measured
+	// parameters — MeasureCycles and MaxRowHitStreak) simulate one
+	// canonical warmup (measured parameters at their zero values),
+	// checkpoint it, and all measure from the restored state. A sweep
+	// over a measured parameter then costs one warmup total, and every
+	// point's result is a deterministic function of its own config,
+	// independent of job order. Off by default: clients opt in to the
+	// shared-warmup methodology explicitly (a point with non-zero
+	// measured parameters applies them in the measurement window only,
+	// which differs from its cold whole-run-under-policy result).
+	WarmStarts bool
+	// WarmEntries bounds retained warm checkpoints (default 16).
+	WarmEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +124,9 @@ type PoolStats struct {
 	Executions uint64     `json:"executions"`
 	Coalesced  uint64     `json:"coalesced"`
 	Cache      CacheStats `json:"cache"`
+	// Warm reports warm-checkpoint reuse (zero value when WarmStarts is
+	// off).
+	Warm sim.WarmStats `json:"warm"`
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -124,6 +141,8 @@ var ErrUnknownJob = errors.New("service: unknown job")
 type Pool struct {
 	opts  Options
 	cache *resultCache
+	// warm is the warm-checkpoint store (nil when WarmStarts is off).
+	warm *sim.WarmStore
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -150,6 +169,9 @@ func NewPool(opts Options) *Pool {
 		byHash: make(map[string]*job),
 	}
 	p.cache = newResultCache(p.opts.CacheEntries)
+	if p.opts.WarmStarts {
+		p.warm = sim.NewWarmStore(p.opts.WarmEntries)
+	}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < p.opts.Workers; i++ {
 		p.wg.Add(1)
@@ -353,6 +375,9 @@ func (p *Pool) Stats() PoolStats {
 	}
 	p.mu.Unlock()
 	st.Cache = p.cache.stats()
+	if p.warm != nil {
+		st.Warm = p.warm.Stats()
+	}
 	return st
 }
 
@@ -402,11 +427,18 @@ func (p *Pool) worker() {
 		j.cancel = cancel
 		p.mu.Unlock()
 
-		res, err := sim.RunOneWithHooks(j.cfg, sim.Hooks{
+		hooks := sim.Hooks{
 			Interval: p.opts.ProgressInterval,
 			Progress: func(pr sim.Progress) { p.publish(j, pr) },
 			Cancel:   func() bool { return ctx.Err() != nil },
-		})
+		}
+		var res sim.Result
+		var err error
+		if p.warm != nil {
+			res, err = p.warm.RunWithHooks(j.cfg, hooks)
+		} else {
+			res, err = sim.RunOneWithHooks(j.cfg, hooks)
+		}
 		timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
 		cancel()
 

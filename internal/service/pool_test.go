@@ -280,6 +280,79 @@ func TestPoolCloseCancelsEverything(t *testing.T) {
 	}
 }
 
+// TestWarmSweepReusesCheckpoint is the warmed-sweep acceptance test: a
+// 16-point sweep over a measured parameter (the FR-FCFS row-hit streak
+// cap) through a warm-started pool must simulate exactly one warmup and
+// restore the shared checkpoint for the other fifteen points —
+// measurably less total simulated work than sixteen cold runs.
+func TestWarmSweepReusesCheckpoint(t *testing.T) {
+	p := newTestPool(t, Options{Workers: 4, WarmStarts: true})
+	const points = 16
+	base := specFixture()
+
+	ids := make([]string, points)
+	for i := 0; i < points; i++ {
+		spec := base
+		spec.MaxRowHitStreak = i // measured param: 0 (off), 1..15
+		st, err := p.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	for _, id := range ids {
+		st, err := p.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+	}
+
+	st := p.Stats()
+	if st.Executions != points {
+		t.Fatalf("%d executions for %d distinct configs, want %d", st.Executions, points, points)
+	}
+	coldWarmup := uint64(points) * base.WarmupCycles
+	if st.Warm.WarmupCyclesSimulated >= coldWarmup {
+		t.Fatalf("warmed sweep simulated %d warmup cycles, no better than %d cold", st.Warm.WarmupCyclesSimulated, coldWarmup)
+	}
+	if st.Warm.WarmupCyclesSimulated != base.WarmupCycles {
+		t.Errorf("simulated %d warmup cycles, want exactly one shared warmup (%d)", st.Warm.WarmupCyclesSimulated, base.WarmupCycles)
+	}
+	if st.Warm.Misses != 1 || st.Warm.Hits != points-1 {
+		t.Errorf("warm store %d misses / %d hits, want 1 / %d", st.Warm.Misses, st.Warm.Hits, points-1)
+	}
+	if st.Warm.WarmupCyclesReused != (points-1)*base.WarmupCycles {
+		t.Errorf("reused %d warmup cycles, want %d", st.Warm.WarmupCyclesReused, (points-1)*base.WarmupCycles)
+	}
+}
+
+// TestWarmPoolMatchesColdResult: enabling warm starts never changes a
+// job's answer. (Bit-identity of the restore path itself is pinned by
+// internal/sim's TestWarmStoreIdenticalConfigBitIdentical and the
+// randomized differential test.)
+func TestWarmPoolMatchesColdResult(t *testing.T) {
+	warm := newTestPool(t, Options{Workers: 1, WarmStarts: true})
+	spec := specFixture()
+	res, err := warm.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := sim.RunOne(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAM != cold.DRAM || res.Counters != cold.Counters || res.Cycles != cold.Cycles {
+		t.Fatal("warm-pool run diverges from cold sim run for an identical config")
+	}
+}
+
 func TestRetentionEvictsOldTerminalJobs(t *testing.T) {
 	p := newTestPool(t, Options{Workers: 1, RetainJobs: 2})
 	var ids []string

@@ -180,7 +180,7 @@ type snap struct {
 	cnt    Counters
 }
 
-func (s *System) snapshot() snap {
+func (s *System) statsSnapshot() snap {
 	c := s.counters
 	c.Instructions = 0
 	for _, cr := range s.cores {
@@ -226,6 +226,13 @@ type Hooks struct {
 	// Cancel, if non-nil, is polled at every interval; returning true
 	// aborts the run with ErrCanceled.
 	Cancel func() bool
+	// AtWarmupEnd, if non-nil, runs exactly once per system, at the
+	// cycle the warmup window completes (immediately after the
+	// measurement baseline is captured). The checkpointing layers use it
+	// to snapshot warmed state. Returning an error aborts the run. It is
+	// not invoked on systems restored at or past the warmup boundary —
+	// their baseline was captured before the checkpoint.
+	AtWarmupEnd func() error
 }
 
 // stride returns the chunk size for hooked runs over `total` cycles.
@@ -286,21 +293,39 @@ func (s *System) Run() Result {
 // RunWithHooks executes the run with periodic progress callbacks and
 // cancellation polling. On cancellation it returns ErrCanceled and a
 // zero Result.
+//
+// A freshly built system runs warmup then measurement; a system restored
+// from a checkpoint resumes wherever the checkpoint was taken (its
+// initial core events, measurement baseline and clock all travel with
+// the snapshot), so restore-then-run dispatches the exact event sequence
+// the uninterrupted run would have.
 func (s *System) RunWithHooks(h Hooks) (Result, error) {
-	for _, c := range s.cores {
-		c.arm(0)
+	if !s.primed {
+		for _, c := range s.cores {
+			c.arm(0)
+		}
+		s.primed = true
 	}
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	step := h.stride(total)
 	if err := s.runUntil(s.cfg.WarmupCycles, h, step, total); err != nil {
 		return Result{}, err
 	}
-	before := s.snapshot()
+	if !s.baseTaken {
+		s.base = s.statsSnapshot()
+		s.baseTaken = true
+		if h.AtWarmupEnd != nil {
+			if err := h.AtWarmupEnd(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
 	if err := s.runUntil(total, h, step, total); err != nil {
 		return Result{}, err
 	}
 	s.prof.Flush()
-	after := s.snapshot()
+	before := s.base
+	after := s.statsSnapshot()
 
 	res := Result{
 		Mechanism:    s.cfg.Mechanism,

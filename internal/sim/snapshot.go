@@ -1,0 +1,569 @@
+package sim
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"bump/internal/mem"
+	"bump/internal/memctrl"
+	"bump/internal/prefetch"
+	"bump/internal/snapshot"
+	"bump/internal/workload"
+)
+
+// structuralDigestVersion versions the structural-compatibility check.
+// Bump alongside snapshot.FormatVersion when restore semantics change.
+const structuralDigestVersion = "bump-snapshot-struct-v1"
+
+// Stable event-receiver references for the engine snapshot.
+const (
+	objRefSystem   = 0
+	objRefMemctrl  = 1
+	objRefCoreBase = 16
+)
+
+// structuralDigest identifies the configurations a snapshot can restore
+// into: every Config field except the *measured* parameters —
+// MeasureCycles and MaxRowHitStreak, which shape only the measurement
+// window, never the structure or the warmed state. Sweeping a measured
+// parameter across a shared warm checkpoint is therefore exact
+// functional warmup, not an approximation of a different machine.
+func structuralDigest(cfg Config) ([32]byte, error) {
+	c := cfg
+	prefix := structuralDigestVersion
+	if c.Streams != nil {
+		// Code has no canonical value: the digest records only that the
+		// streams were custom. Callers restoring such snapshots must
+		// supply the same streams themselves.
+		c.Streams = nil
+		prefix += "+custom-streams"
+	}
+	c.MeasureCycles = 0
+	c.MaxRowHitStreak = 0
+	return snapshot.CanonicalDigest(prefix, c)
+}
+
+// WarmKey returns the warm-checkpoint cache key for cfg: configurations
+// with equal keys share identical warmup trajectories and may restore
+// one another's warmup-end checkpoints. ok is false for configurations
+// that cannot be warm-cached (custom streams, no warmup window).
+func WarmKey(cfg Config) (key string, ok bool) {
+	if cfg.Streams != nil || cfg.WarmupCycles == 0 {
+		return "", false
+	}
+	d, err := structuralDigest(cfg)
+	if err != nil {
+		return "", false
+	}
+	return hex.EncodeToString(d[:]), true
+}
+
+func (s *System) encodeEventObj(obj any) (uint32, error) {
+	switch o := obj.(type) {
+	case *System:
+		if o == s {
+			return objRefSystem, nil
+		}
+	case *memctrl.Controller:
+		if o == s.mc {
+			return objRefMemctrl, nil
+		}
+	case *coreRunner:
+		if o.sys == s && o.id < len(s.cores) && s.cores[o.id] == o {
+			return objRefCoreBase + uint32(o.id), nil
+		}
+	}
+	return 0, fmt.Errorf("receiver %T does not belong to this system", obj)
+}
+
+func (s *System) decodeEventObj(ref uint32) (any, error) {
+	switch {
+	case ref == objRefSystem:
+		return s, nil
+	case ref == objRefMemctrl:
+		return s.mc, nil
+	case ref >= objRefCoreBase && int(ref-objRefCoreBase) < len(s.cores):
+		return s.cores[ref-objRefCoreBase], nil
+	}
+	return nil, fmt.Errorf("sim: snapshot references unknown event receiver %d", ref)
+}
+
+// Snapshot serializes the complete simulator state — event queue, caches
+// and MSHRs, predictor tables, memory-system queues and bank state,
+// workload stream positions, and every statistics counter — as one
+// versioned, deterministic, CRC-framed binary blob. Restoring it into a
+// freshly built System of the same structural configuration resumes the
+// run bit-identically: the continued run dispatches the exact event
+// sequence, and reports the exact statistics, of an uninterrupted one.
+func (s *System) Snapshot(out io.Writer) error {
+	w := snapshot.NewWriter()
+	if err := s.writeState(w); err != nil {
+		return err
+	}
+	return w.Flush(out)
+}
+
+func (s *System) writeState(w *snapshot.Writer) error {
+	digest, err := structuralDigest(s.cfg)
+	if err != nil {
+		return fmt.Errorf("sim: snapshot: %w", err)
+	}
+	w.Section("meta")
+	w.Bytes(digest[:])
+	w.U8(uint8(s.cfg.Mechanism))
+	w.String(s.cfg.Workload.Name)
+	w.I64(s.cfg.Seed)
+	w.U32(uint32(s.cfg.Cores))
+	w.U64(s.eng.Now())
+
+	if err := s.eng.Snapshot(w, s.encodeEventObj); err != nil {
+		return fmt.Errorf("sim: snapshot: %w", err)
+	}
+
+	w.Section("system")
+	w.Bool(s.primed)
+	w.Any(s.counters)
+	w.Bool(s.baseTaken)
+	if s.baseTaken {
+		writeStatsSnap(w, s.base)
+	}
+
+	// Region dirty counts, sorted for canonical bytes.
+	regions := make([]mem.RegionAddr, 0, len(s.dirtyCount))
+	for r := range s.dirtyCount {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	w.U32(uint32(len(regions)))
+	for _, r := range regions {
+		w.U64(uint64(r))
+		w.I64(int64(s.dirtyCount[r]))
+	}
+
+	// Waiter slab: preserved slot-for-slot (tokens in flight embed slot
+	// indices and generations). Free slots reduce to their generation
+	// and free-list link.
+	w.U32(uint32(len(s.waiters)))
+	for i := range s.waiters {
+		sl := &s.waiters[i]
+		w.U8(sl.state)
+		w.U32(sl.gen)
+		if sl.state == waiterFree {
+			w.I64(int64(sl.next))
+			continue
+		}
+		writeAccess(w, sl.acc)
+		w.U64(sl.pos)
+		w.U64(sl.issue)
+		w.I64(int64(sl.core))
+		w.U32(sl.chain)
+		w.Bool(sl.load)
+	}
+	w.I64(int64(s.freeWaiter))
+	s.loadLatency.SnapshotTo(w)
+
+	writeProfile(w, s.prof)
+	s.llc.SnapshotTo(w)
+	s.llcMSHRs.SnapshotTo(w)
+	s.xbar.SnapshotTo(w)
+	s.mc.SnapshotTo(w)
+	s.dram.SnapshotTo(w)
+
+	w.Section("mechanism")
+	w.Bool(s.bump != nil)
+	if s.bump != nil {
+		s.bump.SnapshotTo(w)
+	}
+	w.Bool(s.pf != nil)
+	if s.pf != nil {
+		sn, ok := s.pf.(prefetch.Snapshotter)
+		if !ok {
+			return fmt.Errorf("sim: snapshot: prefetcher %T is not checkpointable", s.pf)
+		}
+		sn.SnapshotTo(w)
+	}
+	w.Bool(s.vwq != nil)
+	if s.vwq != nil {
+		s.vwq.SnapshotTo(w)
+	}
+
+	w.Section("cores")
+	for _, c := range s.cores {
+		writeAccess(w, c.cur)
+		w.Bool(c.hasCur)
+		w.U64(c.freeAt)
+		w.U64(c.pos)
+		w.U32(uint32(len(c.pending)))
+		for _, p := range c.pending {
+			w.U64(p)
+		}
+		w.I64(int64(c.mshrs))
+		chains := make([]uint32, 0, len(c.chains))
+		for ch := range c.chains {
+			chains = append(chains, ch)
+		}
+		sort.Slice(chains, func(i, j int) bool { return chains[i] < chains[j] })
+		w.U32(uint32(len(chains)))
+		for _, ch := range chains {
+			w.U32(ch)
+		}
+		w.U64(c.instructions)
+		w.Bool(c.armed)
+		c.l1.SnapshotTo(w)
+		seek, ok := c.stream.(workload.Seekable)
+		if !ok {
+			return fmt.Errorf("sim: snapshot: core %d stream %T is not checkpointable", c.id, c.stream)
+		}
+		w.U64(seek.StreamFingerprint())
+		w.U64(seek.StreamPos())
+	}
+	return nil
+}
+
+// Restore replaces a freshly built System's state with a checkpoint's.
+// The system must have been built from a structurally identical
+// configuration (same everything except the measured parameters —
+// MeasureCycles and MaxRowHitStreak may differ, which is what warmed
+// sweeps exploit). Restore into a system that has already run is an
+// error. On failure the system is in an undefined state and must be
+// discarded.
+func (s *System) Restore(in io.Reader) error {
+	if s.primed || s.eng.Executed > 0 || s.eng.Now() > 0 {
+		return errors.New("sim: Restore requires a freshly built System")
+	}
+	r, err := snapshot.NewReader(in)
+	if err != nil {
+		return err
+	}
+	if err := s.readState(r); err != nil {
+		return err
+	}
+	return r.Finish()
+}
+
+func (s *System) readState(r *snapshot.Reader) error {
+	want, err := structuralDigest(s.cfg)
+	if err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	r.Section("meta")
+	got := r.Bytes()
+	mech := r.U8()
+	wl := r.String()
+	seed := r.I64()
+	cores := r.U32()
+	cycle := r.U64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if string(got) != string(want[:]) {
+		return fmt.Errorf("sim: snapshot of %s/%s seed %d (%d cores, cycle %d) is structurally incompatible with this configuration",
+			Mechanism(mech), wl, seed, cores, cycle)
+	}
+
+	if err := s.eng.Restore(r, s.decodeEventObj); err != nil {
+		return err
+	}
+
+	r.Section("system")
+	s.primed = r.Bool()
+	r.AnyInto(&s.counters)
+	s.baseTaken = r.Bool()
+	if s.baseTaken {
+		if err := readStatsSnap(r, &s.base); err != nil {
+			return err
+		}
+	} else {
+		s.base = snap{}
+	}
+
+	nDirty := r.Len(8 + 8)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	s.dirtyCount = make(map[mem.RegionAddr]int, nDirty)
+	for i := 0; i < nDirty; i++ {
+		region := mem.RegionAddr(r.U64())
+		count := int(r.I64())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if count <= 0 {
+			return fmt.Errorf("sim: restore: non-positive dirty count for region %#x", uint64(region))
+		}
+		s.dirtyCount[region] = count
+	}
+
+	nWaiters := r.Len(1 + 4)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	s.waiters = make([]waiterSlot, nWaiters)
+	for i := range s.waiters {
+		sl := &s.waiters[i]
+		sl.state = r.U8()
+		sl.gen = r.U32()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if sl.state > waiterClaimed {
+			return fmt.Errorf("sim: restore: bad waiter state %d", sl.state)
+		}
+		if sl.state == waiterFree {
+			next := r.I64()
+			if next < -1 || next >= int64(nWaiters) {
+				return fmt.Errorf("sim: restore: waiter free link %d out of range", next)
+			}
+			sl.next = int32(next)
+			continue
+		}
+		acc, err := readAccess(r)
+		if err != nil {
+			return err
+		}
+		sl.acc = acc
+		sl.pos = r.U64()
+		sl.issue = r.U64()
+		core := r.I64()
+		if core < 0 || core >= int64(len(s.cores)) {
+			return fmt.Errorf("sim: restore: waiter core %d out of range", core)
+		}
+		sl.core = int32(core)
+		sl.chain = r.U32()
+		sl.load = r.Bool()
+		sl.next = -1
+	}
+	freeWaiter := r.I64()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if freeWaiter < -1 || freeWaiter >= int64(nWaiters) {
+		return fmt.Errorf("sim: restore: waiter free head %d out of range", freeWaiter)
+	}
+	s.freeWaiter = int32(freeWaiter)
+	if err := s.loadLatency.RestoreFrom(r); err != nil {
+		return err
+	}
+
+	if err := readProfile(r, s.prof); err != nil {
+		return err
+	}
+	if err := s.llc.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.llcMSHRs.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.xbar.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.mc.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := s.dram.RestoreFrom(r); err != nil {
+		return err
+	}
+
+	r.Section("mechanism")
+	if hasBump := r.Bool(); r.Err() == nil {
+		if hasBump != (s.bump != nil) {
+			return errors.New("sim: restore: predictor presence mismatch")
+		}
+		if hasBump {
+			if err := s.bump.RestoreFrom(r); err != nil {
+				return err
+			}
+		}
+	}
+	if hasPf := r.Bool(); r.Err() == nil {
+		if hasPf != (s.pf != nil) {
+			return errors.New("sim: restore: prefetcher presence mismatch")
+		}
+		if hasPf {
+			sn, ok := s.pf.(prefetch.Snapshotter)
+			if !ok {
+				return fmt.Errorf("sim: restore: prefetcher %T is not checkpointable", s.pf)
+			}
+			if err := sn.RestoreFrom(r); err != nil {
+				return err
+			}
+		}
+	}
+	if hasVWQ := r.Bool(); r.Err() == nil {
+		if hasVWQ != (s.vwq != nil) {
+			return errors.New("sim: restore: VWQ presence mismatch")
+		}
+		if hasVWQ {
+			if err := s.vwq.RestoreFrom(r); err != nil {
+				return err
+			}
+		}
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+
+	r.Section("cores")
+	for _, c := range s.cores {
+		acc, err := readAccess(r)
+		if err != nil {
+			return err
+		}
+		c.cur = acc
+		c.hasCur = r.Bool()
+		c.freeAt = r.U64()
+		c.pos = r.U64()
+		nPending := r.Len(8)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		c.pending = make([]uint64, nPending)
+		for i := range c.pending {
+			c.pending[i] = r.U64()
+		}
+		c.mshrs = int(r.I64())
+		nChains := r.Len(4)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		c.chains = make(map[uint32]bool, nChains)
+		for i := 0; i < nChains; i++ {
+			c.chains[r.U32()] = true
+		}
+		c.instructions = r.U64()
+		c.armed = r.Bool()
+		if err := c.l1.RestoreFrom(r); err != nil {
+			return err
+		}
+		fp := r.U64()
+		pos := r.U64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		seek, ok := c.stream.(workload.Seekable)
+		if !ok {
+			return fmt.Errorf("sim: restore: core %d stream %T is not checkpointable", c.id, c.stream)
+		}
+		// The config digest cannot see inside a custom Streams hook, so
+		// the per-stream content fingerprint is what stops a checkpoint
+		// saved under one trace from silently resuming under another.
+		if got := seek.StreamFingerprint(); got != fp {
+			return fmt.Errorf("sim: restore: core %d stream carries a different access sequence than the checkpoint", c.id)
+		}
+		if err := seek.SeekStream(pos); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+func writeAccess(w *snapshot.Writer, a mem.Access) {
+	w.U64(uint64(a.PC))
+	w.U64(uint64(a.Addr))
+	w.U8(uint8(a.Type))
+	w.U32(a.Work)
+	w.U32(a.Chain)
+}
+
+func readAccess(r *snapshot.Reader) (mem.Access, error) {
+	var a mem.Access
+	a.PC = mem.PC(r.U64())
+	a.Addr = mem.Addr(r.U64())
+	t := r.U8()
+	if r.Err() != nil {
+		return a, r.Err()
+	}
+	if t > uint8(mem.Store) {
+		return a, fmt.Errorf("sim: restore: bad access type %d", t)
+	}
+	a.Type = mem.AccessType(t)
+	a.Work = r.U32()
+	a.Chain = r.U32()
+	return a, r.Err()
+}
+
+func writeStatsSnap(w *snapshot.Writer, sn snap) {
+	w.U64(sn.cycles)
+	w.Any(sn.dram)
+	w.Any(sn.ctrl)
+	w.Any(sn.llc)
+	w.Any(sn.noc)
+	w.Any(sn.prof)
+	w.Any(sn.cnt)
+}
+
+func readStatsSnap(r *snapshot.Reader, sn *snap) error {
+	sn.cycles = r.U64()
+	r.AnyInto(&sn.dram)
+	r.AnyInto(&sn.ctrl)
+	r.AnyInto(&sn.llc)
+	r.AnyInto(&sn.noc)
+	r.AnyInto(&sn.prof)
+	r.AnyInto(&sn.cnt)
+	return r.Err()
+}
+
+func writeProfile(w *snapshot.Writer, p *Profile) {
+	w.Section("profile")
+	w.U32(uint32(p.regionShift))
+	w.Any(p.ProfileCounters)
+	readRegions := make([]mem.RegionAddr, 0, len(p.readGens))
+	for r := range p.readGens {
+		readRegions = append(readRegions, r)
+	}
+	sort.Slice(readRegions, func(i, j int) bool { return readRegions[i] < readRegions[j] })
+	w.U32(uint32(len(readRegions)))
+	for _, region := range readRegions {
+		g := p.readGens[region]
+		w.U64(uint64(region))
+		w.U64(g.pattern)
+		w.U64(g.reads)
+	}
+	writeRegions := make([]mem.RegionAddr, 0, len(p.writeGens))
+	for r := range p.writeGens {
+		writeRegions = append(writeRegions, r)
+	}
+	sort.Slice(writeRegions, func(i, j int) bool { return writeRegions[i] < writeRegions[j] })
+	w.U32(uint32(len(writeRegions)))
+	for _, region := range writeRegions {
+		g := p.writeGens[region]
+		w.U64(uint64(region))
+		w.U64(g.dirtied)
+		w.U64(g.writebacks)
+		w.Bool(g.closed)
+	}
+}
+
+func readProfile(r *snapshot.Reader, p *Profile) error {
+	r.Section("profile")
+	shift := r.U32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if uint(shift) != p.regionShift {
+		return fmt.Errorf("sim: restore: profile region shift %d, have %d", shift, p.regionShift)
+	}
+	r.AnyInto(&p.ProfileCounters)
+	nRead := r.Len(8 * 3)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	p.readGens = make(map[mem.RegionAddr]readGen, nRead)
+	for i := 0; i < nRead; i++ {
+		region := mem.RegionAddr(r.U64())
+		p.readGens[region] = readGen{pattern: r.U64(), reads: r.U64()}
+	}
+	nWrite := r.Len(8*3 + 1)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	p.writeGens = make(map[mem.RegionAddr]writeGen, nWrite)
+	for i := 0; i < nWrite; i++ {
+		region := mem.RegionAddr(r.U64())
+		p.writeGens[region] = writeGen{dirtied: r.U64(), writebacks: r.U64(), closed: r.Bool()}
+	}
+	return r.Err()
+}

@@ -73,11 +73,17 @@ const (
 )
 
 // Closure-free event handlers (event.Handler): the receiver rides in
-// obj; payload words carry the token / chain id / block address.
-func coreAdvanceH(obj any, _, _ uint64)   { obj.(*coreRunner).advance() }
-func chainDoneH(obj any, chain, _ uint64) { obj.(*coreRunner).chainDone(uint32(chain)) }
-func llcAccessH(obj any, tok, _ uint64)   { obj.(*System).llcAccess(tok) }
-func deliverH(obj any, tok, blk uint64)   { obj.(*System).deliver(tok, mem.BlockAddr(blk)) }
+// obj; payload words carry the token / chain id / block address. They
+// are registered with the event package so pending events survive a
+// checkpoint (internal/snapshot).
+var coreAdvanceH, chainDoneH, llcAccessH, deliverH event.Handler
+
+func init() {
+	coreAdvanceH = event.RegisterHandler("sim.coreAdvance", func(obj any, _, _ uint64) { obj.(*coreRunner).advance() })
+	chainDoneH = event.RegisterHandler("sim.chainDone", func(obj any, chain, _ uint64) { obj.(*coreRunner).chainDone(uint32(chain)) })
+	llcAccessH = event.RegisterHandler("sim.llcAccess", func(obj any, tok, _ uint64) { obj.(*System).llcAccess(tok) })
+	deliverH = event.RegisterHandler("sim.deliver", func(obj any, tok, blk uint64) { obj.(*System).deliver(tok, mem.BlockAddr(blk)) })
+}
 
 // System is one fully wired simulated server.
 type System struct {
@@ -109,6 +115,17 @@ type System struct {
 	// loadLatency samples demand-load round trips (issue to data back at
 	// the core) within the measurement window.
 	loadLatency stats.Dist
+
+	// primed records that the cores' initial advance events have been
+	// posted; a restored system arrives primed (its events are in the
+	// queue) and must not be re-armed.
+	primed bool
+	// base is the measurement baseline: the counter snapshot taken the
+	// moment the warmup window completes. It is part of the
+	// checkpointable state so a run split after the warmup boundary
+	// still reports exact measurement-window deltas.
+	base      snap
+	baseTaken bool
 }
 
 // New builds a system from cfg.

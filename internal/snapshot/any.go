@@ -1,0 +1,112 @@
+package snapshot
+
+import (
+	"reflect"
+)
+
+// Any serializes a plain value — exported scalar fields, strings,
+// arrays, slices, and nested structs of the same — in declared field
+// order. It exists for the simulator's many flat statistics structs
+// (cache.Stats, dram.Stats, sim.Counters, ...), whose field-by-field
+// encoding would otherwise be pure boilerplate. Unsupported kinds and
+// unexported fields panic: Any is for our own types at encode time, and
+// a type that stops being plain must fail tests immediately.
+func (w *Writer) Any(v any) { w.anyValue(reflect.ValueOf(v)) }
+
+func (w *Writer) anyValue(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		w.Bool(v.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		w.I64(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		w.U64(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		w.F64(v.Float())
+	case reflect.String:
+		w.String(v.String())
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			w.anyValue(v.Index(i))
+		}
+	case reflect.Slice:
+		w.U32(uint32(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			w.anyValue(v.Index(i))
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				panic("snapshot: Any cannot encode unexported field " + t.String() + "." + t.Field(i).Name)
+			}
+			w.anyValue(v.Field(i))
+		}
+	default:
+		panic("snapshot: Any cannot encode kind " + v.Kind().String())
+	}
+}
+
+// AnyInto decodes a value written by Any into *ptr. Decode-side failures
+// (truncation, overflow, non-plain target) are recorded on the reader,
+// never panicked: AnyInto sits on the fuzzed path.
+func (r *Reader) AnyInto(ptr any) {
+	v := reflect.ValueOf(ptr)
+	if v.Kind() != reflect.Pointer || v.IsNil() {
+		r.Failf("AnyInto target must be a non-nil pointer")
+		return
+	}
+	r.anyInto(v.Elem())
+}
+
+func (r *Reader) anyInto(v reflect.Value) {
+	if r.err != nil {
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(r.Bool())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		x := r.I64()
+		if v.OverflowInt(x) {
+			r.Failf("value %d overflows %s", x, v.Type())
+			return
+		}
+		v.SetInt(x)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		x := r.U64()
+		if v.OverflowUint(x) {
+			r.Failf("value %d overflows %s", x, v.Type())
+			return
+		}
+		v.SetUint(x)
+	case reflect.Float32, reflect.Float64:
+		v.SetFloat(r.F64())
+	case reflect.String:
+		v.SetString(r.String())
+	case reflect.Array:
+		for i := 0; i < v.Len() && r.err == nil; i++ {
+			r.anyInto(v.Index(i))
+		}
+	case reflect.Slice:
+		n := r.Len(1)
+		if r.err != nil {
+			return
+		}
+		v.Set(reflect.MakeSlice(v.Type(), n, n))
+		for i := 0; i < n && r.err == nil; i++ {
+			r.anyInto(v.Index(i))
+		}
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField() && r.err == nil; i++ {
+			if !t.Field(i).IsExported() {
+				r.Failf("AnyInto cannot decode unexported field %s.%s", t.String(), t.Field(i).Name)
+				return
+			}
+			r.anyInto(v.Field(i))
+		}
+	default:
+		r.Failf("AnyInto cannot decode kind %s", v.Kind())
+	}
+}

@@ -1,0 +1,67 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"reflect"
+)
+
+// CanonicalDigest hashes a configuration value into a stable identity:
+// a SHA-256 over a reflective walk of the structure in declared field
+// order, prefixed with a caller-chosen version string. Two values digest
+// equal iff every identity-bearing field is equal. The simulator uses it
+// for the snapshot structural-compatibility check and the warm-checkpoint
+// key (config minus measured params).
+//
+// Func-typed fields must be nil — code has no canonical value — and
+// maps, pointers, channels and interfaces are rejected so a new config
+// field can never be hashed non-deterministically by accident.
+func CanonicalDigest(prefix string, v any) ([32]byte, error) {
+	h := sha256.New()
+	io.WriteString(h, prefix)
+	if err := writeCanonical(h, reflect.ValueOf(v), "v"); err != nil {
+		return [32]byte{}, err
+	}
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d, nil
+}
+
+func writeCanonical(w io.Writer, v reflect.Value, path string) error {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				return fmt.Errorf("snapshot: unexported config field %s.%s", path, f.Name)
+			}
+			if err := writeCanonical(w, v.Field(i), path+"."+f.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Func:
+		if !v.IsNil() {
+			return fmt.Errorf("snapshot: config field %s holds code and cannot be digested", path)
+		}
+		return nil
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "%s.len=%d\n", path, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			if err := writeCanonical(w, v.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		fmt.Fprintf(w, "%s=%v\n", path, v.Interface())
+		return nil
+	default:
+		return fmt.Errorf("snapshot: cannot canonically encode %s (kind %s)", path, v.Kind())
+	}
+}

@@ -1,0 +1,28 @@
+package stats
+
+import "bump/internal/snapshot"
+
+// SnapshotTo serializes the distribution's samples in insertion order;
+// min/max/sum are recomputed on restore (same insertion order, so the
+// floating-point sum is bit-identical).
+func (d *Dist) SnapshotTo(w *snapshot.Writer) {
+	w.Section("dist")
+	w.U32(uint32(len(d.vals)))
+	for _, v := range d.vals {
+		w.F64(v)
+	}
+}
+
+// RestoreFrom replaces the distribution with a snapshot's samples.
+func (d *Dist) RestoreFrom(r *snapshot.Reader) error {
+	r.Section("dist")
+	n := r.Len(8)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	*d = Dist{vals: make([]float64, 0, n)}
+	for i := 0; i < n; i++ {
+		d.Add(r.F64())
+	}
+	return r.Err()
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"bump/internal/workload"
+)
+
+// FuzzDecode feeds arbitrary bytes through the gob trace decoder: any
+// input must either decode or error — never panic or OOM — and a trace
+// that decodes must be replayable.
+func FuzzDecode(f *testing.F) {
+	// Seed: a small valid capture.
+	tr, err := Capture(workload.WebSearch(), 0, 1, 32)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine
+		}
+		streams, err := tr.Streams()
+		if err != nil {
+			return // e.g. decoded but empty
+		}
+		s := streams(0)
+		for i := 0; i < 4; i++ {
+			_ = s.Next()
+		}
+	})
+}

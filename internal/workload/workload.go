@@ -19,16 +19,38 @@
 package workload
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
 	"bump/internal/mem"
+	"bump/internal/snapshot"
 )
 
 // Stream produces an infinite access stream for one core.
 type Stream interface {
 	// Next returns the core's next memory access.
 	Next() mem.Access
+}
+
+// Seekable is the optional checkpointing interface a Stream may
+// implement: a stream's state is its position in a deterministic
+// sequence, so a checkpoint records StreamPos and a restore rebuilds the
+// stream fresh and seeks it forward. The simulator refuses to snapshot
+// configurations whose streams are not Seekable.
+type Seekable interface {
+	// StreamPos returns the number of accesses consumed so far (for
+	// cyclic streams, the canonical in-cycle position).
+	StreamPos() uint64
+	// SeekStream advances a freshly constructed stream to pos. Seeking
+	// backwards (or to an impossible position) is an error.
+	SeekStream(pos uint64) error
+	// StreamFingerprint identifies the underlying access sequence (not
+	// the position within it). A checkpoint records it so restoring
+	// under a *different* sequence — e.g. a different replay trace with
+	// otherwise identical configuration flags — errors instead of
+	// silently resuming with wrong accesses.
+	StreamFingerprint() uint64
 }
 
 // CoreSeed derives the per-core generator seed from a run's base seed.
@@ -43,6 +65,7 @@ func CoreSeed(base int64, core int) int64 { return base + int64(core)*7919 }
 type Replay struct {
 	accesses []mem.Access
 	pos      int
+	fp       uint64 // lazily computed content fingerprint
 }
 
 // NewReplay wraps a non-empty trace in a cyclic Stream.
@@ -61,6 +84,55 @@ func (r *Replay) Next() mem.Access {
 		r.pos = 0
 	}
 	return a
+}
+
+// StreamPos implements Seekable: the cursor within the trace cycle.
+func (r *Replay) StreamPos() uint64 { return uint64(r.pos) }
+
+// SeekStream implements Seekable.
+func (r *Replay) SeekStream(pos uint64) error {
+	if pos >= uint64(len(r.accesses)) {
+		return fmt.Errorf("workload: replay position %d outside %d-access trace", pos, len(r.accesses))
+	}
+	r.pos = int(pos)
+	return nil
+}
+
+// StreamFingerprint implements Seekable: an FNV-1a hash over the
+// recorded accesses, so two replays resume-compatible only when they
+// carry the same trace content.
+func (r *Replay) StreamFingerprint() uint64 {
+	if r.fp != 0 {
+		return r.fp
+	}
+	h := fnvOffset
+	h = fnvMix(h, uint64(len(r.accesses)))
+	for i := range r.accesses {
+		a := &r.accesses[i]
+		h = fnvMix(h, uint64(a.PC))
+		h = fnvMix(h, uint64(a.Addr))
+		h = fnvMix(h, uint64(a.Type))
+		h = fnvMix(h, uint64(a.Work))
+		h = fnvMix(h, uint64(a.Chain))
+	}
+	if h == 0 {
+		h = 1 // keep 0 as the "not yet computed" sentinel
+	}
+	r.fp = h
+	return h
+}
+
+// FNV-1a over uint64 words.
+const fnvOffset uint64 = 0xcbf29ce484222325
+
+func fnvMix(h, w uint64) uint64 {
+	const prime = 0x100000001b3
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xFF
+		h *= prime
+		w >>= 8
+	}
+	return h
 }
 
 // Params defines a synthetic server workload.
@@ -186,6 +258,7 @@ func (t *task) reset() { t.accesses, t.pos = t.accesses[:0], 0 }
 // Generator implements Stream for one core.
 type Generator struct {
 	p         Params
+	seed      int64
 	rng       *rand.Rand
 	tasks     []*task
 	rr        int
@@ -194,6 +267,14 @@ type Generator struct {
 	nextChain uint32
 	taskCount int
 	revisits  []revisit
+	fp        uint64 // lazily computed stream fingerprint
+	// calls counts Next() invocations. A generator's entire state is a
+	// deterministic function of (Params, seed, calls), which is what
+	// makes checkpointing a stream as cheap as recording this counter:
+	// restore rebuilds the generator from its seed and replays `calls`
+	// draws (far cheaper than simulating them) instead of serializing
+	// the math/rand internals.
+	calls uint64
 }
 
 // revisit is a deferred follow-up write to an earlier write burst.
@@ -210,8 +291,9 @@ func NewGenerator(p Params, seed int64) (*Generator, error) {
 		return nil, err
 	}
 	g := &Generator{
-		p:   p,
-		rng: rand.New(rand.NewSource(seed)),
+		p:    p,
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
 	}
 	total := p.ScanWeight + p.ChaseWeight + p.WriteBurstWeight + p.SparseWriteWeight
 	g.weights = [4]float64{
@@ -417,6 +499,48 @@ func (g *Generator) newSparseWrite(t *task) {
 	t.accesses = acc
 }
 
+// StreamPos implements Seekable: the number of accesses drawn so far.
+func (g *Generator) StreamPos() uint64 { return g.calls }
+
+// StreamFingerprint implements Seekable. A generator's sequence is a
+// pure function of (Params, seed), so the fingerprint digests every
+// Params field plus the seed — two generators with tweaked weights but
+// the same name must not fingerprint equal, because for custom Streams
+// hooks this check is the only thing standing between a checkpoint and
+// silently resuming a different sequence.
+func (g *Generator) StreamFingerprint() uint64 {
+	if g.fp != 0 {
+		return g.fp
+	}
+	d, err := snapshot.CanonicalDigest("workload-generator-v1", g.p)
+	if err != nil {
+		// Params is a plain struct today; an unhashable field is a
+		// programming error that must fail loudly, not degrade the
+		// restore guard.
+		panic("workload: Params not canonically hashable: " + err.Error())
+	}
+	h := fnvMix(binary.LittleEndian.Uint64(d[:8]), uint64(g.seed))
+	if h == 0 {
+		h = 1
+	}
+	g.fp = h
+	return h
+}
+
+// SeekStream implements Seekable by replaying pos draws on a freshly
+// seeded generator. Determinism makes this exact: after the replay the
+// generator's state (tasks, RNG, revisit queue, phase counters) is
+// bit-identical to the checkpointed one.
+func (g *Generator) SeekStream(pos uint64) error {
+	if g.calls > pos {
+		return fmt.Errorf("workload: cannot seek stream backwards (%d > %d)", g.calls, pos)
+	}
+	for g.calls < pos {
+		g.Next()
+	}
+	return nil
+}
+
 // fillTask refills t in place with the next generated activity.
 func (g *Generator) fillTask(t *task) {
 	t.reset()
@@ -443,6 +567,7 @@ func (g *Generator) fillTask(t *task) {
 // Next implements Stream: round-robin over the open tasks, replacing each
 // finished task with a fresh one.
 func (g *Generator) Next() mem.Access {
+	g.calls++
 	for {
 		g.rr = (g.rr + 1) % len(g.tasks)
 		t := g.tasks[g.rr]

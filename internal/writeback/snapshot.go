@@ -1,0 +1,30 @@
+package writeback
+
+import (
+	"fmt"
+
+	"bump/internal/snapshot"
+)
+
+// SnapshotTo serializes the VWQ's counters (its only mutable state).
+func (v *VWQ) SnapshotTo(w *snapshot.Writer) {
+	w.Section("vwq")
+	w.U32(uint32(v.Adjacent))
+	w.U64(v.Probes)
+	w.U64(v.Scheduled)
+}
+
+// RestoreFrom replaces the VWQ's counters with a snapshot's.
+func (v *VWQ) RestoreFrom(r *snapshot.Reader) error {
+	r.Section("vwq")
+	adj := r.U32()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if int(adj) != v.Adjacent {
+		return fmt.Errorf("writeback: snapshot adjacency %d, VWQ has %d", adj, v.Adjacent)
+	}
+	v.Probes = r.U64()
+	v.Scheduled = r.U64()
+	return r.Err()
+}
