@@ -29,6 +29,7 @@ import (
 	"bump/internal/core"
 	"bump/internal/figures"
 	"bump/internal/mem"
+	"bump/internal/scenario"
 	"bump/internal/sim"
 	"bump/internal/stats"
 	"bump/internal/workload"
@@ -111,6 +112,31 @@ func Workloads() []Workload { return workload.All() }
 // WorkloadByName resolves a workload preset by its name (e.g.
 // "web-search").
 func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// ---- Scenarios ----------------------------------------------------------
+
+// Scenario is a declarative multi-phase, multi-tenant workload
+// composition: per-tenant core ranges, each running an ordered timeline
+// of preset-based phases with optional load-shift ramps (see
+// internal/scenario for the spec and JSON file format).
+type Scenario = scenario.Spec
+
+// Scenarios returns the built-in scenario library names (consolidated,
+// diurnal-shift, phase-swap, bursty-writer).
+func Scenarios() []string { return scenario.Library() }
+
+// ScenarioByName builds a built-in (or registered) scenario for the
+// given core count.
+func ScenarioByName(name string, cores int) (Scenario, bool) { return scenario.ByName(name, cores) }
+
+// LoadScenario reads a scenario spec from its JSON file format.
+func LoadScenario(path string) (Scenario, error) { return scenario.Load(path) }
+
+// DefaultScenarioConfig returns the paper's 16-core system (Table II)
+// driven by a scenario instead of a stationary workload.
+func DefaultScenarioConfig(m Mechanism, sc Scenario) Config {
+	return sim.DefaultScenarioConfig(m, sc)
+}
 
 // ---- Standalone predictor -----------------------------------------------
 

@@ -7,6 +7,13 @@
 //
 //	bumpd                                  # listen on :8344
 //	bumpd -addr :9000 -workers 8 -cache 512 -timeout 5m
+//	bumpd -scenario peak.json -scenario canary.json   # register scenario files
+//
+// Job specs may name a scenario instead of a workload — either one of
+// the built-ins (consolidated, diurnal-shift, phase-swap, bursty-writer)
+// or a spec registered at startup with -scenario — or carry a full
+// inline spec under "scenario_spec". The resolved scenario is part of
+// the config hash, so scenario jobs coalesce and cache like any other.
 //
 // Endpoints (see internal/service):
 //
@@ -29,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"bump/internal/scenario"
 	"bump/internal/service"
 )
 
@@ -44,6 +52,17 @@ func main() {
 		warm     = flag.Bool("warm", false, "share warmup-end checkpoints between jobs that differ only in measured parameters")
 		warmSz   = flag.Int("warm-cache", 16, "warm-checkpoint cache entries (with -warm)")
 	)
+	flag.Func("scenario", "scenario spec file to register under its name (repeatable); jobs reference it via {\"scenario\": \"<name>\"}", func(path string) error {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			return err
+		}
+		if err := scenario.Register(sc); err != nil {
+			return err
+		}
+		log.Printf("bumpd: registered scenario %q (%d tenants)", sc.Name, len(sc.Tenants))
+		return nil
+	})
 	flag.Parse()
 
 	pool := service.NewPool(service.Options{

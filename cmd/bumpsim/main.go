@@ -8,6 +8,8 @@
 //	bumpsim -params                     # print Table II/III constants
 //	bumpsim -workload data-serving -mechanism full-region -measure 4000000
 //	bumpsim -trace trace.gob -mechanism bump   # replay a tracegen capture
+//	bumpsim -scenario phase-swap -mechanism bump        # built-in scenario
+//	bumpsim -scenario my-scenario.json -mechanism bump  # scenario file
 //
 // Checkpointing: -checkpoint-save writes the simulator's full state at
 // the end of the warmup window; -checkpoint-load restores such a file
@@ -27,6 +29,7 @@ import (
 
 	"bump"
 	"bump/internal/energy"
+	"bump/internal/scenario"
 	"bump/internal/sim"
 	"bump/internal/stats"
 	"bump/internal/trace"
@@ -40,6 +43,7 @@ func main() {
 		warmup       = flag.Uint64("warmup", 0, "warmup cycles (0 = default)")
 		measure      = flag.Uint64("measure", 0, "measurement cycles (0 = default)")
 		tracePath    = flag.String("trace", "", "replay a tracegen trace file on every core instead of the synthetic generators")
+		scenarioName = flag.String("scenario", "", "multi-phase multi-tenant scenario driving the streams: a built-in name (consolidated, diurnal-shift, phase-swap, bursty-writer) or a JSON spec file; replaces -workload")
 		params       = flag.Bool("params", false, "print the architectural (Table II) and energy (Table III) parameters and exit")
 		ckptSave     = flag.String("checkpoint-save", "", "write a warmup-end checkpoint to this file")
 		ckptLoad     = flag.String("checkpoint-load", "", "restore a checkpoint instead of simulating the warmup")
@@ -67,18 +71,33 @@ func main() {
 		}
 	}
 
-	w, ok := bump.WorkloadByName(*workloadName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "bumpsim: unknown workload %q\n", *workloadName)
-		os.Exit(2)
-	}
 	m, ok := sim.MechanismByName(*mechName)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "bumpsim: unknown mechanism %q\n", *mechName)
 		os.Exit(2)
 	}
 
-	cfg := bump.DefaultConfig(m, w)
+	var cfg bump.Config
+	if *scenarioName != "" {
+		if tr != nil {
+			fmt.Fprintln(os.Stderr, "bumpsim: -scenario cannot be combined with -trace")
+			os.Exit(2)
+		}
+		sc, err := scenario.Resolve(*scenarioName, bump.DefaultConfig(m, bump.Workload{}).Cores)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bumpsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg = sim.DefaultScenarioConfig(m, sc)
+		fmt.Printf("scenario %s: %d tenants over %d cores\n", sc.Name, len(sc.Tenants), cfg.Cores)
+	} else {
+		w, ok := bump.WorkloadByName(*workloadName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bumpsim: unknown workload %q\n", *workloadName)
+			os.Exit(2)
+		}
+		cfg = bump.DefaultConfig(m, w)
+	}
 	cfg.Seed = *seed
 	if *warmup > 0 {
 		cfg.WarmupCycles = *warmup

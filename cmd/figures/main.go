@@ -7,6 +7,8 @@
 //	figures -fig t4       # Table IV
 //	figures -quick        # shorter simulation windows (faster, noisier)
 //	figures -workloads web-search,data-serving
+//	figures -scenario phase-swap         # mechanisms under one scenario
+//	figures -scenario my-scenario.json
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"strings"
 
 	"bump"
+	"bump/internal/scenario"
+	"bump/internal/sim"
 	"bump/internal/stats"
 )
 
@@ -25,8 +29,17 @@ func main() {
 		quick     = flag.Bool("quick", false, "short simulation windows")
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		workloads = flag.String("workloads", "", "comma-separated subset of workloads (default all six)")
+		scen      = flag.String("scenario", "", "print the mechanism comparison under a scenario (built-in name or JSON spec file) instead of the paper figures")
 	)
 	flag.Parse()
+
+	if *scen != "" {
+		if err := scenarioFigure(*scen, *seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := bump.FigureOptions{Seed: *seed}
 	if *quick {
@@ -64,4 +77,36 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Println(g())
+}
+
+// scenarioFigure runs every mechanism under one scenario and prints the
+// systems-comparison table (the scenario counterpart of Figs. 2/9/10).
+func scenarioFigure(name string, seed int64, quick bool) error {
+	cores := bump.DefaultConfig(bump.MechBuMP, bump.Workload{}).Cores
+	sc, err := scenario.Resolve(name, cores)
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(fmt.Sprintf("Scenario %s: mechanism comparison", sc.Name),
+		"mechanism", "row-hit", "IPC", "energy/access", "read cov", "write cov")
+	for _, m := range bump.Mechanisms() {
+		cfg := sim.DefaultScenarioConfig(m, sc)
+		cfg.Seed = seed
+		if quick {
+			cfg.WarmupCycles = 400_000
+			cfg.MeasureCycles = 800_000
+		}
+		res, err := bump.Run(cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(m.String(),
+			fmt.Sprintf("%.1f%%", 100*res.RowHitRatio()),
+			fmt.Sprintf("%.2f", res.IPC()),
+			fmt.Sprintf("%.1f nJ", res.EPATotal*1e9),
+			fmt.Sprintf("%.1f%%", 100*res.ReadCoverage()),
+			fmt.Sprintf("%.1f%%", 100*res.WriteCoverage()))
+	}
+	fmt.Println(t)
+	return nil
 }

@@ -22,6 +22,14 @@
 //	sweep -mode seeds -workload web-search -n 5 > seeds.csv
 //	sweep -mode fairness -workload web-search -warm > fairness.csv
 //	sweep -mode systems -server http://localhost:8344 > systems.csv
+//	sweep -mode scenarios > scenarios.csv      # built-in scenario library
+//	sweep -mode fairness -scenario phase-swap -warm > fairness.csv
+//	sweep -mode systems -scenario my-scenario.json > systems.csv
+//
+// With -scenario (a built-in name or a JSON spec file), every mode runs
+// its matrix against the multi-phase, multi-tenant scenario instead of a
+// stationary workload; the scenario is part of each job's config hash,
+// so caching, coalescing and warm starts work exactly as for presets.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"strconv"
 
 	"bump"
+	"bump/internal/scenario"
 	"bump/internal/service"
 	"bump/internal/sim"
 )
@@ -107,8 +116,9 @@ func (r remoteRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
 
 func main() {
 	var (
-		mode         = flag.String("mode", "systems", "sweep mode: systems, design, seeds, fairness")
+		mode         = flag.String("mode", "systems", "sweep mode: systems, design, seeds, fairness, scenarios")
 		workloadName = flag.String("workload", "web-search", "workload for -mode seeds and -mode fairness")
+		scenarioFlag = flag.String("scenario", "", "run the matrix against a scenario instead of workload presets: a built-in name or a JSON spec file")
 		n            = flag.Int("n", 5, "seed count for -mode seeds")
 		warmup       = flag.Uint64("warmup", 700_000, "warmup cycles")
 		measure      = flag.Uint64("measure", 1_500_000, "measurement cycles")
@@ -143,12 +153,75 @@ func main() {
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
 
+	// With -scenario, every mode's specs swap their workload for the
+	// scenario. A built-in name travels by name (a remote bumpd resolves
+	// it, so all clients coalesce on the same hash); a spec file travels
+	// inline.
+	scenarioLabel := ""
+	applyScenario := func(spec service.JobSpec) service.JobSpec { return spec }
+	if *scenarioFlag != "" {
+		byName := func() {
+			scenarioLabel = "scenario:" + *scenarioFlag
+			applyScenario = func(spec service.JobSpec) service.JobSpec {
+				spec.Workload = ""
+				spec.Scenario = *scenarioFlag
+				return spec
+			}
+		}
+		if _, statErr := os.Stat(*scenarioFlag); statErr == nil && !scenario.Known(*scenarioFlag) {
+			// A spec file travels inline.
+			sc, err := scenario.Load(*scenarioFlag)
+			if err != nil {
+				fatal(err)
+			}
+			scenarioLabel = "scenario:" + sc.Name
+			applyScenario = func(spec service.JobSpec) service.JobSpec {
+				spec.Workload = ""
+				spec.ScenarioSpec = sc
+				return spec
+			}
+		} else if scenario.Known(*scenarioFlag) || *server != "" {
+			// Built-ins travel by name so every client coalesces on the
+			// same hash — and against a -server, so does any name the
+			// daemon registered at startup (bumpd -scenario) that this
+			// process cannot resolve locally; the daemon rejects names
+			// it does not know either.
+			byName()
+		} else {
+			_, err := scenario.Resolve(*scenarioFlag, 0) // produce the library-naming error
+			fatal(err)
+		}
+	}
+	// wlRows yields the workload axis: the scenario when set, else the
+	// six presets.
+	type wlRow struct {
+		label string
+		spec  func(m bump.Mechanism) service.JobSpec
+	}
+	wlRows := func() []wlRow {
+		if scenarioLabel != "" {
+			return []wlRow{{scenarioLabel, func(m bump.Mechanism) service.JobSpec {
+				return applyScenario(baseSpec(m, ""))
+			}}}
+		}
+		rows := make([]wlRow, 0, 6)
+		for _, wl := range bump.Workloads() {
+			name := wl.Name
+			rows = append(rows, wlRow{name, func(m bump.Mechanism) service.JobSpec {
+				return baseSpec(m, name)
+			}})
+		}
+		return rows
+	}
+
 	switch *mode {
 	case "systems":
 		var specs []service.JobSpec
-		for _, wl := range bump.Workloads() {
+		var labels []string
+		for _, row := range wlRows() {
 			for _, m := range bump.Mechanisms() {
-				specs = append(specs, baseSpec(m, wl.Name))
+				specs = append(specs, row.spec(m))
+				labels = append(labels, row.label)
 			}
 		}
 		results, err := run.runAll(specs)
@@ -157,22 +230,50 @@ func main() {
 		}
 		w.Write([]string{"workload", "mechanism", "row_hit", "ipc", "epa_nj", "read_coverage", "read_overfetch", "write_coverage"})
 		for i, res := range results {
-			w.Write([]string{specs[i].Workload, specs[i].Mechanism, f(res.RowHitRatio()), f(res.IPC()),
+			w.Write([]string{labels[i], specs[i].Mechanism, f(res.RowHitRatio()), f(res.IPC()),
+				f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch()), f(res.WriteCoverage())})
+		}
+	case "scenarios":
+		// The built-in scenario library × all mechanisms: the per-scenario
+		// sweep output (colocation, diurnal load, phase swaps, write
+		// bursts) next to the stationary-workload systems matrix.
+		if scenarioLabel != "" {
+			fatal(fmt.Errorf("-mode scenarios sweeps the built-in library; use -mode systems -scenario %s for one scenario", *scenarioFlag))
+		}
+		var specs []service.JobSpec
+		var labels []string
+		for _, name := range scenario.Library() {
+			for _, m := range bump.Mechanisms() {
+				spec := baseSpec(m, "")
+				spec.Scenario = name
+				specs = append(specs, spec)
+				labels = append(labels, name)
+			}
+		}
+		results, err := run.runAll(specs)
+		if err != nil {
+			fatal(err)
+		}
+		w.Write([]string{"scenario", "mechanism", "row_hit", "ipc", "epa_nj", "read_coverage", "read_overfetch", "write_coverage"})
+		for i, res := range results {
+			w.Write([]string{labels[i], specs[i].Mechanism, f(res.RowHitRatio()), f(res.IPC()),
 				f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch()), f(res.WriteCoverage())})
 		}
 	case "design":
 		var specs []service.JobSpec
-		for _, wl := range bump.Workloads() {
+		var labels []string
+		for _, row := range wlRows() {
 			for _, shift := range []uint{9, 10, 11} {
 				blocks := uint(1) << (shift - 6)
 				for _, pct := range []uint{25, 50, 75, 100} {
-					spec := baseSpec(bump.MechBuMP, wl.Name)
+					spec := row.spec(bump.MechBuMP)
 					spec.RegionShift = shift
 					spec.DensityThreshold = blocks * pct / 100
 					if spec.DensityThreshold == 0 {
 						spec.DensityThreshold = 1
 					}
 					specs = append(specs, spec)
+					labels = append(labels, row.label)
 				}
 			}
 		}
@@ -182,20 +283,17 @@ func main() {
 		}
 		w.Write([]string{"workload", "region_bytes", "threshold_blocks", "row_hit", "epa_nj", "read_coverage", "read_overfetch"})
 		for i, res := range results {
-			w.Write([]string{specs[i].Workload, strconv.Itoa(1 << specs[i].RegionShift), strconv.Itoa(int(specs[i].DensityThreshold)),
+			w.Write([]string{labels[i], strconv.Itoa(1 << specs[i].RegionShift), strconv.Itoa(int(specs[i].DensityThreshold)),
 				f(res.RowHitRatio()), f(res.EPATotal * 1e9), f(res.ReadCoverage()), f(res.ReadOverfetch())})
 		}
 	case "fairness":
-		// Sixteen FR-FCFS row-hit streak caps over one workload. The
-		// cap is a measured parameter, so with -warm all sixteen points
-		// restore one shared warm checkpoint.
-		wl, ok := bump.WorkloadByName(*workloadName)
-		if !ok {
-			fatal(fmt.Errorf("unknown workload %q", *workloadName))
-		}
+		// Sixteen FR-FCFS row-hit streak caps over one workload (or
+		// scenario). The cap is a measured parameter, so with -warm all
+		// sixteen points restore one shared warm checkpoint.
+		point := pointSpec(*workloadName, scenarioLabel, baseSpec, applyScenario)
 		var specs []service.JobSpec
 		for cap := 0; cap < 16; cap++ {
-			spec := baseSpec(bump.MechBuMP, wl.Name)
+			spec := point()
 			spec.MaxRowHitStreak = cap
 			specs = append(specs, spec)
 		}
@@ -221,15 +319,12 @@ func main() {
 				st.Warm.WarmupCyclesSimulated, st.Warm.WarmupCyclesReused, st.Warm.Hits, st.Warm.Misses)
 		}
 	case "seeds":
-		wl, ok := bump.WorkloadByName(*workloadName)
-		if !ok {
-			fatal(fmt.Errorf("unknown workload %q", *workloadName))
-		}
+		point := pointSpec(*workloadName, scenarioLabel, baseSpec, applyScenario)
 		specs := make([]service.JobSpec, *n)
 		seeds := make([]int64, *n)
 		for i := range specs {
 			seeds[i] = int64(i + 1)
-			specs[i] = baseSpec(bump.MechBuMP, wl.Name)
+			specs[i] = point()
 			specs[i].Seed = seeds[i]
 		}
 		rs, err := run.runAll(specs)
@@ -246,6 +341,21 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// pointSpec returns the single-point spec builder for fairness/seeds
+// modes: the scenario when -scenario is set, else the named workload.
+func pointSpec(workloadName, scenarioLabel string,
+	base func(bump.Mechanism, string) service.JobSpec,
+	applyScenario func(service.JobSpec) service.JobSpec) func() service.JobSpec {
+	if scenarioLabel != "" {
+		return func() service.JobSpec { return applyScenario(base(bump.MechBuMP, "")) }
+	}
+	wl, ok := bump.WorkloadByName(workloadName)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", workloadName))
+	}
+	return func() service.JobSpec { return base(bump.MechBuMP, wl.Name) }
 }
 
 func fatal(err error) {

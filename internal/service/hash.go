@@ -19,7 +19,9 @@ var ErrNotHashable = errors.New("service: config with custom Streams is not hash
 // hashVersion is bumped whenever the canonical encoding (or the meaning
 // of an encoded field) changes, so stale cached results can never be
 // returned across incompatible versions.
-const hashVersion = "bump-config-v1"
+// v2: sim.Config gained the Scenario field (walked canonically like the
+// rest of the structure).
+const hashVersion = "bump-config-v2"
 
 // Hash returns the canonical content hash of a resolved configuration:
 // two configs hash equal iff every identity-bearing field is equal. The

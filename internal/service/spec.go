@@ -8,6 +8,7 @@ package service
 import (
 	"fmt"
 
+	"bump/internal/scenario"
 	"bump/internal/sim"
 	"bump/internal/workload"
 )
@@ -19,8 +20,16 @@ import (
 type JobSpec struct {
 	// Workload is a preset name (e.g. "web-search"); Mechanism is a
 	// mechanism name (e.g. "bump", "base-open").
-	Workload  string `json:"workload"`
+	Workload  string `json:"workload,omitempty"`
 	Mechanism string `json:"mechanism"`
+	// Scenario names a built-in (or daemon-registered) scenario, and
+	// ScenarioSpec carries a full inline spec; either replaces Workload
+	// with a multi-phase, multi-tenant composition. ScenarioSpec wins
+	// when both are set; the resolved spec is part of the config hash,
+	// so two jobs coalesce/cache-hit iff their scenarios agree field
+	// for field.
+	Scenario     string        `json:"scenario,omitempty"`
+	ScenarioSpec scenario.Spec `json:"scenario_spec,omitzero"`
 	// Seed defaults to 1, matching sim.DefaultConfig.
 	Seed int64 `json:"seed,omitempty"`
 	// WarmupCycles/MeasureCycles override the default windows when
@@ -45,10 +54,6 @@ type JobSpec struct {
 
 // Config resolves the spec to a full simulator configuration.
 func (s JobSpec) Config() (sim.Config, error) {
-	w, ok := workload.ByName(s.Workload)
-	if !ok {
-		return sim.Config{}, fmt.Errorf("service: unknown workload %q", s.Workload)
-	}
 	mechName := s.Mechanism
 	if mechName == "" {
 		mechName = "bump"
@@ -57,7 +62,28 @@ func (s JobSpec) Config() (sim.Config, error) {
 	if !ok {
 		return sim.Config{}, fmt.Errorf("service: unknown mechanism %q", s.Mechanism)
 	}
-	cfg := sim.DefaultConfig(m, w)
+	var cfg sim.Config
+	switch {
+	case s.ScenarioSpec.Enabled() || s.Scenario != "":
+		if s.Workload != "" {
+			return sim.Config{}, fmt.Errorf("service: workload and scenario are mutually exclusive")
+		}
+		sc := s.ScenarioSpec
+		if !sc.Enabled() {
+			cores := sim.DefaultConfig(m, workload.Params{}).Cores
+			sc, ok = scenario.ByName(s.Scenario, cores)
+			if !ok {
+				return sim.Config{}, fmt.Errorf("service: unknown scenario %q", s.Scenario)
+			}
+		}
+		cfg = sim.DefaultScenarioConfig(m, sc)
+	default:
+		w, ok := workload.ByName(s.Workload)
+		if !ok {
+			return sim.Config{}, fmt.Errorf("service: unknown workload %q", s.Workload)
+		}
+		cfg = sim.DefaultConfig(m, w)
+	}
 	if s.Seed != 0 {
 		cfg.Seed = s.Seed
 	}

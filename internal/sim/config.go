@@ -7,6 +7,7 @@ import (
 	"bump/internal/dram"
 	"bump/internal/mem"
 	"bump/internal/memctrl"
+	"bump/internal/scenario"
 	"bump/internal/workload"
 )
 
@@ -117,9 +118,18 @@ type Config struct {
 	DRAM            dram.Config
 
 	Workload workload.Params
+	// Scenario, when non-empty, drives the per-core streams with a
+	// multi-phase, multi-tenant composition of presets instead of the
+	// single stationary Workload (which must then be left zero).
+	// Unlike a Streams hook the scenario is pure data, so the service
+	// config hash, the snapshot structural digest and the warm-checkpoint
+	// key all cover it: scenario runs cache, checkpoint and warm-share
+	// exactly like stationary ones.
+	Scenario scenario.Spec
 	// Streams optionally overrides the per-core access streams (e.g.
 	// trace replay); when set it must return a stream for every core
 	// index. Workload is still used for identification and validation.
+	// Mutually exclusive with Scenario.
 	Streams func(core int) workload.Stream
 	Seed    int64
 
@@ -154,6 +164,23 @@ func DefaultConfig(m Mechanism, w workload.Params) Config {
 	}
 }
 
+// DefaultScenarioConfig returns the paper's system (Table II) driven by
+// a scenario instead of a stationary workload.
+func DefaultScenarioConfig(m Mechanism, sc scenario.Spec) Config {
+	cfg := DefaultConfig(m, workload.Params{})
+	cfg.Scenario = sc
+	return cfg
+}
+
+// WorkloadLabel names what drives the streams: the stationary workload's
+// preset name, or "scenario:<name>" for scenario runs.
+func (c Config) WorkloadLabel() string {
+	if c.Scenario.Enabled() {
+		return "scenario:" + c.Scenario.Name
+	}
+	return c.Workload.Name
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Cores <= 0 {
@@ -174,7 +201,17 @@ func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
 		return err
 	}
-	if err := c.Workload.Validate(); err != nil {
+	if c.Scenario.Enabled() {
+		if c.Streams != nil {
+			return fmt.Errorf("sim: Scenario and Streams are mutually exclusive")
+		}
+		if c.Workload != (workload.Params{}) {
+			return fmt.Errorf("sim: scenario runs must leave Workload zero (the scenario names its workloads)")
+		}
+		if err := c.Scenario.Validate(c.Cores); err != nil {
+			return err
+		}
+	} else if err := c.Workload.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"bump/internal/scenario"
 	"bump/internal/workload"
 )
 
@@ -39,7 +40,33 @@ func goldenCases() []goldenCase {
 		{"bump-web-search", smallGolden(BuMP, workload.WebSearch(), 1)},
 		{"sms-vwq-data-serving", smallGolden(SMSVWQ, workload.DataServing(), 2)},
 		{"base-close-online-analytics", smallGolden(BaseClose, workload.OnlineAnalytics(), 3)},
+		{"bump-scenario-swap", scenarioGolden(4)},
 	}
+}
+
+// scenarioGolden drives the golden corpus' scenario entry: a two-core
+// phase-swap with boundaries small enough that the warmup and
+// measurement windows cross several of them, plus a task-bounded
+// write-amplified phase on core 1.
+func scenarioGolden(seed int64) Config {
+	sc := scenario.Spec{Name: "golden-swap", Tenants: []scenario.Tenant{
+		{Name: "swap", Cores: scenario.CoreRange{First: 0, Last: 0}, Repeat: true, Phases: []scenario.Phase{
+			{Preset: "data-serving", Accesses: 1500},
+			{Preset: "media-streaming", Accesses: 1000},
+		}},
+		{Name: "burst", Cores: scenario.CoreRange{First: 1, Last: 1}, Repeat: true, Phases: []scenario.Phase{
+			{Preset: "web-search", Tasks: 80},
+			{Preset: "data-serving", Tasks: 40, WriteScale: 2, LoadScale: 1.5},
+		}},
+	}}
+	cfg := DefaultScenarioConfig(BuMP, sc)
+	cfg.Cores = 2
+	cfg.L1Bytes = 8 << 10
+	cfg.LLCBytes = 128 << 10
+	cfg.Seed = seed
+	cfg.WarmupCycles = 40_000
+	cfg.MeasureCycles = 80_000
+	return cfg
 }
 
 // smallGolden keeps committed checkpoints small (a few hundred KB of

@@ -329,7 +329,7 @@ func (s *System) RunWithHooks(h Hooks) (Result, error) {
 
 	res := Result{
 		Mechanism:    s.cfg.Mechanism,
-		Workload:     s.cfg.Workload.Name,
+		Workload:     s.cfg.WorkloadLabel(),
 		Events:       s.eng.Executed,
 		Cycles:       after.cycles - before.cycles,
 		Instructions: after.cnt.Instructions - before.cnt.Instructions,

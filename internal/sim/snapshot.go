@@ -16,7 +16,9 @@ import (
 
 // structuralDigestVersion versions the structural-compatibility check.
 // Bump alongside snapshot.FormatVersion when restore semantics change.
-const structuralDigestVersion = "bump-snapshot-struct-v1"
+// v2: Config gained the Scenario field (covered by the digest walk), so
+// v1 checkpoints are rejected with a clear incompatibility error.
+const structuralDigestVersion = "bump-snapshot-struct-v2"
 
 // Stable event-receiver references for the engine snapshot.
 const (
@@ -114,7 +116,7 @@ func (s *System) writeState(w *snapshot.Writer) error {
 	w.Section("meta")
 	w.Bytes(digest[:])
 	w.U8(uint8(s.cfg.Mechanism))
-	w.String(s.cfg.Workload.Name)
+	w.String(s.cfg.WorkloadLabel())
 	w.I64(s.cfg.Seed)
 	w.U32(uint32(s.cfg.Cores))
 	w.U64(s.eng.Now())

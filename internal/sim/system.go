@@ -9,6 +9,7 @@ import (
 	"bump/internal/memctrl"
 	"bump/internal/noc"
 	"bump/internal/prefetch"
+	"bump/internal/scenario"
 	"bump/internal/stats"
 	"bump/internal/workload"
 	"bump/internal/writeback"
@@ -184,9 +185,20 @@ func New(cfg Config) (*System, error) {
 	s.cores = make([]*coreRunner, cfg.Cores)
 	for i := range s.cores {
 		var stream workload.Stream
-		if cfg.Streams != nil {
+		switch {
+		case cfg.Streams != nil:
 			stream = cfg.Streams(i)
-		} else {
+		case cfg.Scenario.Enabled():
+			tl, err := cfg.Scenario.TimelineFor(i)
+			if err != nil {
+				return nil, err
+			}
+			comp, err := scenario.NewComposite(tl, workload.CoreSeed(cfg.Seed, i))
+			if err != nil {
+				return nil, err
+			}
+			stream = comp
+		default:
 			gen, err := workload.NewGenerator(cfg.Workload, workload.CoreSeed(cfg.Seed, i))
 			if err != nil {
 				return nil, err

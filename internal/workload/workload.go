@@ -94,6 +94,9 @@ func (r *Replay) SeekStream(pos uint64) error {
 	if pos >= uint64(len(r.accesses)) {
 		return fmt.Errorf("workload: replay position %d outside %d-access trace", pos, len(r.accesses))
 	}
+	if uint64(r.pos) > pos {
+		return fmt.Errorf("workload: cannot seek replay backwards (%d > %d)", r.pos, pos)
+	}
 	r.pos = int(pos)
 	return nil
 }
@@ -501,6 +504,11 @@ func (g *Generator) newSparseWrite(t *task) {
 
 // StreamPos implements Seekable: the number of accesses drawn so far.
 func (g *Generator) StreamPos() uint64 { return g.calls }
+
+// Tasks returns the number of tasks the generator has started, including
+// the OpenTasks materialised at construction. The scenario layer uses it
+// to end task-bounded phases at a deterministic point in the stream.
+func (g *Generator) Tasks() int { return g.taskCount }
 
 // StreamFingerprint implements Seekable. A generator's sequence is a
 // pure function of (Params, seed), so the fingerprint digests every
