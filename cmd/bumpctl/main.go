@@ -1,0 +1,132 @@
+// Command bumpctl coordinates a fleet of bumpd workers behind one
+// endpoint. It speaks the same /v1 wire protocol as a single bumpd, so
+// every existing client (sweep -server, curl scripts, service.Client)
+// works unchanged — plus cluster-only endpoints for topology and whole-
+// sweep batches.
+//
+// Jobs are routed by warm-affinity key: every point of a measured-
+// parameter sweep shares one structural config digest, so the whole
+// sweep lands on the same worker and its warm-checkpoint store (bumpd
+// -warm) simulates the warmup exactly once. Workers are health-checked
+// continuously: ejected after consecutive failures, re-probed with
+// exponential backoff, readmitted when they recover, and rejected
+// outright when their snapshot format version differs from this
+// build's (warm checkpoints are not portable across versions). A job
+// whose worker dies mid-run fails over to the next worker on the ring.
+//
+// Usage:
+//
+//	bumpctl -worker http://host1:8344 -worker http://host2:8344
+//	bumpctl -workers http://h1:8344,http://h2:8344,http://h3:8344 -addr :8343
+//
+// Endpoints (see internal/cluster):
+//
+//	POST   /v1/jobs             submit a job (affinity-routed)
+//	GET    /v1/jobs/{id}        poll a job (proxied to its worker)
+//	GET    /v1/jobs/{id}/events SSE progress stream (proxied)
+//	DELETE /v1/jobs/{id}        cancel a job (proxied)
+//	POST   /v1/batch            run a whole sweep; SSE per-point events
+//	GET    /v1/results/{hash}   cached result, fleet-wide lookup
+//	GET    /v1/healthz          aggregated fleet health
+//	GET    /v1/cluster          topology: per-worker state + statistics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bump/internal/cluster"
+)
+
+func main() {
+	var workerURLs []string
+	var (
+		addr      = flag.String("addr", ":8343", "listen address")
+		workers   = flag.String("workers", "", "comma-separated bumpd worker base URLs")
+		probe     = flag.Duration("probe-interval", 2*time.Second, "worker health-probe period")
+		failAfter = flag.Int("fail-after", 3, "consecutive failures before a worker is ejected")
+		backoff   = flag.Duration("backoff", time.Second, "initial readmission-probe backoff for a down worker (doubles per failure)")
+		backoffMx = flag.Duration("backoff-max", 30*time.Second, "readmission-probe backoff ceiling")
+		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request timeout for worker calls")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Func("worker", "bumpd worker base URL (repeatable)", func(url string) error {
+		workerURLs = append(workerURLs, url)
+		return nil
+	})
+	flag.Parse()
+	if *workers != "" {
+		workerURLs = append(workerURLs, strings.Split(*workers, ",")...)
+	}
+	if len(workerURLs) == 0 {
+		log.Fatal("bumpctl: no workers; pass -worker URL (repeatable) or -workers url1,url2,...")
+	}
+
+	coord, err := cluster.New(context.Background(), cluster.Options{
+		Workers: workerURLs,
+		Registry: cluster.RegistryOptions{
+			ProbeInterval:  *probe,
+			FailAfter:      *failAfter,
+			BackoffBase:    *backoff,
+			BackoffMax:     *backoffMx,
+			RequestTimeout: *reqTO,
+		},
+	})
+	if err != nil {
+		log.Fatalf("bumpctl: %v", err)
+	}
+	top := coord.Topology()
+	for _, w := range top.Workers {
+		log.Printf("bumpctl: worker %s %s [%s]", w.ID, w.URL, w.State)
+	}
+	log.Printf("bumpctl: %d/%d workers up (format version %d)", top.Up, top.Total, top.Version)
+
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     logRequests(coord.Handler()),
+		ReadTimeout: 30 * time.Second,
+		// No WriteTimeout: proxied SSE streams stay open for a job's
+		// lifetime; worker-side timeouts bound them instead.
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bumpctl: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("bumpctl: %s received, draining for up to %s", sig, *drain)
+	case err := <-errc:
+		coord.Close()
+		log.Fatalf("bumpctl: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("bumpctl: shutdown: %v", err)
+	}
+	coord.Close()
+	log.Printf("bumpctl: stopped")
+}
+
+// logRequests is a minimal access log.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("bumpctl: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

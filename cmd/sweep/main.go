@@ -5,9 +5,12 @@
 // Every mode expresses its matrix as a batch of service job specs. By
 // default the batch executes on an in-process service.Pool (bounded
 // workers, duplicate coalescing, result caching); with -server the same
-// batch is submitted to a running bumpd instance and collated from its
-// responses, so many sweep clients can share one simulation service and
-// its cache.
+// batch is submitted to a running bumpd or bumpctl instance (one POST
+// /v1/batch request), so many sweep clients can share one simulation
+// service and its cache. A comma-separated -server list of bumpd
+// workers embeds an in-process cluster coordinator instead: points are
+// routed by warm-affinity key across the fleet with automatic failover,
+// and a per-worker warm/cache report is printed after the sweep.
 //
 // With -warm the in-process pool shares warmup-end checkpoints between
 // sweep points whose configurations differ only in measured parameters:
@@ -22,6 +25,7 @@
 //	sweep -mode seeds -workload web-search -n 5 > seeds.csv
 //	sweep -mode fairness -workload web-search -warm > fairness.csv
 //	sweep -mode systems -server http://localhost:8344 > systems.csv
+//	sweep -mode fairness -server http://host1:8344,http://host2:8344,http://host3:8344 > fairness.csv
 //	sweep -mode scenarios > scenarios.csv      # built-in scenario library
 //	sweep -mode fairness -scenario phase-swap -warm > fairness.csv
 //	sweep -mode systems -scenario my-scenario.json > systems.csv
@@ -35,12 +39,15 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"bump"
+	"bump/internal/cluster"
 	"bump/internal/scenario"
 	"bump/internal/service"
 	"bump/internal/sim"
@@ -51,42 +58,53 @@ type runner interface {
 	runAll(specs []service.JobSpec) ([]sim.Result, error)
 }
 
+// unwrapBatch converts an ordered batch aggregate into bare results,
+// failing on the first point that did not complete.
+func unwrapBatch(res service.BatchResult) ([]sim.Result, error) {
+	payloads, err := res.Results()
+	if err != nil {
+		return nil, err
+	}
+	results := make([]sim.Result, len(payloads))
+	for i, p := range payloads {
+		results[i] = *p.Result
+	}
+	return results, nil
+}
+
 // localRunner drives an in-process pool: the whole batch is submitted
 // up front (deduplicated, cached, executed on bounded workers), then
 // collected in order.
 type localRunner struct{ pool *service.Pool }
 
 func (l localRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
-	ids := make([]string, len(specs))
-	for i, spec := range specs {
-		st, err := l.pool.Submit(spec)
-		if err != nil {
-			return nil, err
-		}
-		ids[i] = st.ID
+	res, err := service.RunBatch(context.Background(), l.pool, service.BatchSpec{Specs: specs}, nil)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]sim.Result, len(specs))
-	for i, id := range ids {
-		st, err := l.pool.Wait(context.Background(), id)
-		if err != nil {
-			return nil, err
-		}
-		if st.State != service.StateDone || st.Result == nil {
-			return nil, fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
-		}
-		results[i] = *st.Result
-	}
-	return results, nil
+	return unwrapBatch(res)
 }
 
-// remoteRunner submits the batch to a bumpd server and polls it down.
+// remoteRunner submits the batch to a bumpd or bumpctl server — one
+// POST /v1/batch when the server speaks it, falling back to per-job
+// submit-and-poll against older daemons.
 type remoteRunner struct{ client *service.Client }
 
 func (r remoteRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
+	ctx := context.Background()
+	res, err := r.client.Batch(ctx, service.BatchSpec{Specs: specs}, nil)
+	if err == nil {
+		return unwrapBatch(res)
+	}
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) || (apiErr.Code != 404 && apiErr.Code != 405) {
+		return nil, err
+	}
+	// Pre-batch server: submit each spec and poll it down.
 	ids := make([]string, len(specs))
 	terminal := make([]*service.JobStatus, len(specs))
 	for i, spec := range specs {
-		st, err := r.client.Submit(spec)
+		st, err := r.client.Submit(ctx, spec)
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +118,7 @@ func (r remoteRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
 	for i := range specs {
 		st := terminal[i]
 		if st == nil {
-			s, err := r.client.Wait(context.Background(), ids[i])
+			s, err := r.client.Wait(ctx, ids[i])
 			if err != nil {
 				return nil, err
 			}
@@ -114,6 +132,20 @@ func (r remoteRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
 	return results, nil
 }
 
+// clusterRunner embeds an in-process coordinator over a worker fleet:
+// each point is routed to its warm-affinity worker with failover, so a
+// measured-parameter sweep warms once per distinct structural config
+// fleet-wide.
+type clusterRunner struct{ coord *cluster.Coordinator }
+
+func (c clusterRunner) runAll(specs []service.JobSpec) ([]sim.Result, error) {
+	res, err := c.coord.Batch(context.Background(), service.BatchSpec{Specs: specs}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return unwrapBatch(res)
+}
+
 func main() {
 	var (
 		mode         = flag.String("mode", "systems", "sweep mode: systems, design, seeds, fairness, scenarios")
@@ -122,23 +154,57 @@ func main() {
 		n            = flag.Int("n", 5, "seed count for -mode seeds")
 		warmup       = flag.Uint64("warmup", 700_000, "warmup cycles")
 		measure      = flag.Uint64("measure", 1_500_000, "measurement cycles")
-		server       = flag.String("server", "", "bumpd base URL (e.g. http://localhost:8344); empty runs in-process")
+		server       = flag.String("server", "", "bumpd/bumpctl base URL, or a comma-separated bumpd worker list to coordinate in-process; empty runs fully in-process")
 		warm         = flag.Bool("warm", false, "share warmup-end checkpoints between in-process sweep points that differ only in measured parameters")
 	)
 	flag.Parse()
 
 	var pool *service.Pool
+	var coord *cluster.Coordinator
 	var run runner
-	if *server != "" {
+	switch {
+	case *server != "" && strings.Contains(*server, ","):
+		// A comma-separated worker list: embed an in-process coordinator
+		// over the fleet (warm-affinity routing + failover, no separate
+		// bumpctl needed).
+		if *warm {
+			fmt.Fprintln(os.Stderr, "sweep: -warm applies to in-process runs; enable warm starts on each worker with bumpd -warm")
+		}
+		var err error
+		coord, err = cluster.New(context.Background(), cluster.Options{Workers: strings.Split(*server, ",")})
+		if err != nil {
+			fatal(err)
+		}
+		defer coord.Close()
+		if up := coord.Registry().UpCount(); up == 0 {
+			fatal(fmt.Errorf("no healthy workers among %s", *server))
+		}
+		run = clusterRunner{coord: coord}
+	case *server != "":
 		if *warm {
 			fmt.Fprintln(os.Stderr, "sweep: -warm applies to in-process runs; enable warm starts on bumpd with its -warm flag")
 		}
 		run = remoteRunner{client: service.NewClient(*server)}
-	} else {
+	default:
 		pool = service.NewPool(service.Options{WarmStarts: *warm})
 		defer pool.Close()
 		run = localRunner{pool: pool}
 	}
+	// After the sweep, show where the fleet spent and saved its warmup
+	// work — the per-worker view of warm-affinity routing.
+	defer func() {
+		if coord == nil {
+			return
+		}
+		// Refresh the stats snapshot so the report reflects this sweep,
+		// not the last periodic probe.
+		coord.Registry().ProbeOnce(context.Background())
+		for _, w := range coord.Topology().Workers {
+			fmt.Fprintf(os.Stderr, "sweep: %s %s [%s] warm %d hits/%d misses, cache %d hits/%d misses, %d executions\n",
+				w.ID, w.URL, w.State, w.Stats.Warm.Hits, w.Stats.Warm.Misses,
+				w.Stats.Cache.Hits, w.Stats.Cache.Misses, w.Stats.Executions)
+		}
+	}()
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()

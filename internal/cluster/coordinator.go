@@ -1,0 +1,433 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"bump/internal/service"
+	"bump/internal/snapshot"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Workers are the backend bumpd base URLs (at least one).
+	Workers []string
+	// Registry tunes probing/ejection (zero value: defaults).
+	Registry RegistryOptions
+	// BatchConcurrency bounds in-flight points per batch (default 64;
+	// execution parallelism is bounded by the workers' own pools, this
+	// only caps coordinator-side goroutines and open polls).
+	BatchConcurrency int
+}
+
+// Coordinator federates the fleet behind the single-worker /v1 API plus
+// cluster-only endpoints (/v1/cluster topology, /v1/batch sweeps).
+type Coordinator struct {
+	reg    *Registry
+	router *Router
+	opts   Options
+	start  time.Time
+}
+
+// New builds a coordinator over the worker URLs and runs one synchronous
+// probe round so a healthy fleet is routable before New returns.
+func New(ctx context.Context, opts Options) (*Coordinator, error) {
+	reg, err := NewRegistry(opts.Workers, opts.Registry)
+	if err != nil {
+		return nil, err
+	}
+	if opts.BatchConcurrency <= 0 {
+		opts.BatchConcurrency = 64
+	}
+	reg.ProbeOnce(ctx)
+	return &Coordinator{
+		reg:    reg,
+		router: NewRouter(reg),
+		opts:   opts,
+		start:  time.Now(),
+	}, nil
+}
+
+// Close stops the health probe loop.
+func (c *Coordinator) Close() { c.reg.Close() }
+
+// Registry exposes the worker registry (topology, stats, probing).
+func (c *Coordinator) Registry() *Registry { return c.reg }
+
+// Run executes one spec through the cluster: affinity-routed, failing
+// over to the next worker in the key's preference sequence on worker
+// loss. The Go-API twin of POST /v1/jobs + wait.
+func (c *Coordinator) Run(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	st, _, err := c.router.Run(ctx, spec)
+	return st, err
+}
+
+// Batch executes a whole sweep across the fleet: every point routed by
+// its own affinity key, completions streamed to onPoint (serialized;
+// may be nil) as they land, aggregate returned in submission order.
+func (c *Coordinator) Batch(ctx context.Context, spec service.BatchSpec, onPoint func(service.BatchPoint)) (service.BatchResult, error) {
+	if len(spec.Specs) == 0 {
+		return service.BatchResult{}, fmt.Errorf("cluster: empty batch")
+	}
+	if len(spec.Specs) > service.MaxBatchPoints {
+		return service.BatchResult{}, fmt.Errorf("cluster: batch of %d points exceeds the %d-point limit", len(spec.Specs), service.MaxBatchPoints)
+	}
+	res := service.BatchResult{Points: make([]service.BatchPoint, len(spec.Specs))}
+	sem := make(chan struct{}, c.opts.BatchConcurrency)
+	var mu sync.Mutex // serializes onPoint and res updates
+	var wg sync.WaitGroup
+	for i, s := range spec.Specs {
+		wg.Add(1)
+		go func(i int, s service.JobSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			st, worker, err := c.router.Run(ctx, s)
+			if err != nil {
+				st = service.JobStatus{State: service.StateFailed, Error: err.Error()}
+			}
+			pt := service.BatchPoint{Index: i, Worker: worker, Status: service.PayloadFor(st)}
+			mu.Lock()
+			defer mu.Unlock()
+			res.Points[i] = pt
+			if st.State != service.StateDone {
+				res.Failed++
+			}
+			if onPoint != nil {
+				onPoint(pt)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return res, ctx.Err()
+}
+
+// ClusterPayload is served by GET /v1/cluster: coordinator identity and
+// per-worker topology, admission state and statistics.
+type ClusterPayload struct {
+	Status string `json:"status"`
+	// Version is the snapshot format version this coordinator requires
+	// of workers; Uptime is coordinator uptime in seconds.
+	Version int     `json:"version"`
+	Uptime  float64 `json:"uptime_s"`
+	// Up of Total workers are currently admitted.
+	Up      int          `json:"up"`
+	Total   int          `json:"total"`
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// Topology snapshots the cluster for /v1/cluster.
+func (c *Coordinator) Topology() ClusterPayload {
+	infos := c.reg.Info()
+	up := 0
+	for _, w := range infos {
+		if w.State == WorkerUp {
+			up++
+		}
+	}
+	status := "ok"
+	switch {
+	case up == 0:
+		status = "down"
+	case up < len(infos):
+		status = "degraded"
+	}
+	return ClusterPayload{
+		Status:  status,
+		Version: c.reg.opts.FormatVersion,
+		Uptime:  time.Since(c.start).Seconds(),
+		Up:      up,
+		Total:   len(infos),
+		Workers: infos,
+	}
+}
+
+// Health aggregates the fleet into the single-worker health shape, so
+// existing /v1/healthz clients read cluster-wide statistics unchanged.
+func (c *Coordinator) Health() service.HealthPayload {
+	top := c.Topology()
+	h := service.HealthPayload{
+		Status:  top.Status,
+		Version: snapshot.FormatVersion,
+		Uptime:  top.Uptime,
+	}
+	for _, w := range top.Workers {
+		if w.State != WorkerUp {
+			continue
+		}
+		s := w.Stats
+		h.Stats.Workers += s.Workers
+		h.Stats.Queued += s.Queued
+		h.Stats.Running += s.Running
+		h.Stats.Completed += s.Completed
+		h.Stats.Executions += s.Executions
+		h.Stats.Coalesced += s.Coalesced
+		h.Stats.Cache.Entries += s.Cache.Entries
+		h.Stats.Cache.Capacity += s.Cache.Capacity
+		h.Stats.Cache.Hits += s.Cache.Hits
+		h.Stats.Cache.Misses += s.Cache.Misses
+		h.Stats.Cache.Evictions += s.Cache.Evictions
+		h.Stats.Warm.Hits += s.Warm.Hits
+		h.Stats.Warm.Misses += s.Warm.Misses
+		h.Stats.Warm.Skipped += s.Warm.Skipped
+		h.Stats.Warm.WarmupCyclesSimulated += s.Warm.WarmupCyclesSimulated
+		h.Stats.Warm.WarmupCyclesReused += s.Warm.WarmupCyclesReused
+	}
+	return h
+}
+
+// Handler exposes the coordinator over HTTP. The /v1/jobs* routes speak
+// the exact single-worker wire protocol (job IDs are namespaced
+// "jNNN@wK" but remain opaque strings to clients); /v1/cluster and
+// /v1/batch are the cluster-level additions.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.submit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.job)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.cancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.events)
+	mux.HandleFunc("POST /v1/batch", c.batch)
+	mux.HandleFunc("GET /v1/results/{hash}", c.result)
+	mux.HandleFunc("GET /v1/healthz", c.healthz)
+	mux.HandleFunc("GET /v1/cluster", c.cluster)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// proxyError maps a worker-call failure onto the coordinator's own
+// response: API errors pass through their status code (worker identity
+// already embedded in the message); transport failures become 502.
+func proxyError(w http.ResponseWriter, err error) {
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		writeError(w, apiErr.Code, "%s", apiErr.Message)
+		return
+	}
+	writeError(w, http.StatusBadGateway, "%v", err)
+}
+
+// submit routes a job to its affinity worker (failing over on submit
+// errors) and returns the worker's response with a namespaced job ID —
+// the same 200/202 semantics as a single worker.
+func (c *Coordinator) submit(w http.ResponseWriter, r *http.Request) {
+	var spec service.JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	key, _, err := RouteKey(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, wk, err := c.router.Submit(r.Context(), key, spec, nil)
+	switch {
+	case errors.Is(err, ErrNoWorkers):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		proxyError(w, err)
+		return
+	}
+	st.ID = JoinJobID(st.ID, wk.ID)
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, service.PayloadFor(st))
+}
+
+// resolve parses a namespaced job ID and returns its worker.
+func (c *Coordinator) resolve(id string) (*Worker, string, error) {
+	jobID, workerID, err := SplitJobID(id)
+	if err != nil {
+		return nil, "", err
+	}
+	wk, ok := c.reg.Worker(workerID)
+	if !ok {
+		return nil, "", fmt.Errorf("cluster: unknown worker %q in job ID %q", workerID, id)
+	}
+	return wk, jobID, nil
+}
+
+func (c *Coordinator) job(w http.ResponseWriter, r *http.Request) {
+	wk, jobID, err := c.resolve(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st, err := wk.Client.Job(r.Context(), jobID)
+	if err != nil {
+		proxyError(w, err)
+		return
+	}
+	st.ID = JoinJobID(st.ID, wk.ID)
+	writeJSON(w, http.StatusOK, service.PayloadFor(st))
+}
+
+func (c *Coordinator) cancelJob(w http.ResponseWriter, r *http.Request) {
+	wk, jobID, err := c.resolve(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	st, err := wk.Client.Cancel(r.Context(), jobID)
+	if err != nil {
+		proxyError(w, err)
+		return
+	}
+	st.ID = JoinJobID(st.ID, wk.ID)
+	writeJSON(w, http.StatusOK, service.PayloadFor(st))
+}
+
+// events proxies a worker's SSE progress stream: progress events pass
+// through verbatim; terminal job payloads get their ID re-namespaced so
+// the stream a client sees is indistinguishable from a single worker's.
+func (c *Coordinator) events(w http.ResponseWriter, r *http.Request) {
+	wk, jobID, err := c.resolve(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	started := false
+	startStream := func() {
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		started = true
+	}
+	err = wk.Client.Events(r.Context(), jobID, func(ev service.Event) error {
+		if !started {
+			startStream()
+		}
+		data := ev.Data
+		if service.State(ev.Name).Terminal() {
+			var p service.JobPayload
+			if err := json.Unmarshal(ev.Data, &p); err == nil {
+				p.ID = JoinJobID(p.ID, wk.ID)
+				if re, err := json.Marshal(p); err == nil {
+					data = re
+				}
+			}
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data)
+		fl.Flush()
+		return nil
+	})
+	if err == nil || r.Context().Err() != nil {
+		return
+	}
+	// The worker failed, not the client: strike it so ejection does not
+	// wait for the next probe round, and tell the client the stream
+	// broke (a silent end is indistinguishable from a worker that never
+	// emitted its terminal event).
+	c.reg.ReportFailure(wk.ID, err)
+	if !started {
+		proxyError(w, err)
+		return
+	}
+	data, _ := json.Marshal(map[string]string{"error": err.Error()})
+	fmt.Fprintf(w, "event: error\ndata: %s\n\n", data)
+	fl.Flush()
+}
+
+// batch runs a whole sweep through the cluster; wire-compatible with
+// the single-worker /v1/batch (SSE or JSON aggregate), with each point
+// additionally naming the worker that served it.
+func (c *Coordinator) batch(w http.ResponseWriter, r *http.Request) {
+	var spec service.BatchSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid batch spec: %v", err)
+		return
+	}
+	if !strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		res, err := c.Batch(r.Context(), spec, nil)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	writeEvent := func(name string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+		fl.Flush()
+	}
+	res, err := c.Batch(r.Context(), spec, func(pt service.BatchPoint) {
+		writeEvent("point", pt)
+	})
+	if err != nil {
+		writeEvent("error", map[string]string{"error": err.Error()})
+		return
+	}
+	writeEvent("batch", res)
+}
+
+// result looks a cached result up across the fleet: the affinity worker
+// cannot be derived from the hash alone (hashes cover measured
+// parameters, warm keys do not), so admitted workers are asked in turn.
+func (c *Coordinator) result(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	for _, wk := range c.reg.Workers() {
+		if !c.reg.Up(wk.ID) {
+			continue
+		}
+		res, ok, err := wk.Client.ResultByHash(r.Context(), hash)
+		if err != nil || !ok {
+			continue
+		}
+		writeJSON(w, http.StatusOK, service.ResultPayload{Hash: hash, Result: res, Metrics: service.MetricsFor(res)})
+		return
+	}
+	writeError(w, http.StatusNotFound, "no cached result for %s", hash)
+}
+
+func (c *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Coordinator) cluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Topology())
+}

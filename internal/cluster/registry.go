@@ -1,0 +1,347 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"bump/internal/service"
+	"bump/internal/snapshot"
+)
+
+// WorkerState is a worker's admission status in the registry.
+type WorkerState string
+
+const (
+	// WorkerUnknown: not yet successfully probed; never routed to.
+	WorkerUnknown WorkerState = "unknown"
+	// WorkerUp: healthy and routable.
+	WorkerUp WorkerState = "up"
+	// WorkerDown: ejected after consecutive probe/request failures;
+	// re-probed with exponential backoff and readmitted on success.
+	WorkerDown WorkerState = "down"
+	// WorkerIncompatible: healthy but speaking a different snapshot
+	// format version. Warm checkpoints and cached results keyed under
+	// one format version are meaningless under another, so such workers
+	// are never routed to; they are still probed, so an in-place upgrade
+	// readmits them.
+	WorkerIncompatible WorkerState = "incompatible"
+)
+
+// RegistryOptions tunes health probing and ejection. Zero values pick
+// production defaults.
+type RegistryOptions struct {
+	// ProbeInterval paces the periodic /v1/healthz round (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe request (default: ProbeInterval).
+	ProbeTimeout time.Duration
+	// FailAfter is the consecutive-failure count that ejects a worker
+	// (default 3). Router-reported request failures count like probe
+	// failures, so a dead worker is ejected by the traffic it drops, not
+	// only by the next probe round.
+	FailAfter int
+	// BackoffBase/BackoffMax shape the readmission probe backoff of a
+	// down worker: base doubles per failed readmission probe up to max
+	// (defaults 1s and 30s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// FormatVersion is the snapshot format this coordinator requires of
+	// its workers (default snapshot.FormatVersion — the version this
+	// binary was built with).
+	FormatVersion int
+	// RequestTimeout and PollInterval configure the per-worker
+	// service.Client (defaults: client defaults).
+	RequestTimeout time.Duration
+	PollInterval   time.Duration
+}
+
+func (o RegistryOptions) withDefaults() RegistryOptions {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		// Floor the default at 2s: a busy worker (every core simulating)
+		// can take tens of milliseconds to answer, and a short probe
+		// timeout would misread load as death.
+		o.ProbeTimeout = max(o.ProbeInterval, 2*time.Second)
+	}
+	if o.FailAfter <= 0 {
+		o.FailAfter = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = time.Second
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 30 * time.Second
+	}
+	if o.FormatVersion == 0 {
+		o.FormatVersion = snapshot.FormatVersion
+	}
+	return o
+}
+
+// Worker is one registered bumpd backend.
+type Worker struct {
+	// ID is the stable short name ("w0", "w1", …) used in ring placement
+	// and namespaced job IDs; URL is the backend base URL.
+	ID  string
+	URL string
+	// Client is the configured API client for this worker.
+	Client *service.Client
+
+	// Mutable probe state, guarded by the registry mutex.
+	state   WorkerState
+	fails   int
+	backoff time.Duration
+	retryAt time.Time
+	lastErr string
+	health  service.HealthPayload
+	probed  time.Time
+}
+
+// WorkerInfo is a worker's exported status snapshot (served by
+// /v1/cluster).
+type WorkerInfo struct {
+	ID    string      `json:"id"`
+	URL   string      `json:"url"`
+	State WorkerState `json:"state"`
+	// Version and Uptime echo the worker's last successful health probe.
+	Version int     `json:"version,omitempty"`
+	Uptime  float64 `json:"uptime_s,omitempty"`
+	// Fails is the current consecutive-failure count; LastError the most
+	// recent probe or request error.
+	Fails    int     `json:"fails,omitempty"`
+	LastErr  string  `json:"last_error,omitempty"`
+	ProbeAge float64 `json:"probe_age_s,omitempty"`
+	// Stats is the worker pool's statistics at the last probe — per-
+	// worker warm-hit and cache counters live here.
+	Stats service.PoolStats `json:"stats"`
+}
+
+// Registry tracks a fixed fleet of workers, probing /v1/healthz
+// periodically: healthy matching-version workers are admitted, failing
+// ones ejected after FailAfter consecutive failures and re-probed with
+// exponential backoff until they recover.
+type Registry struct {
+	opts    RegistryOptions
+	workers []*Worker
+	byID    map[string]*Worker
+	byURL   map[string]*Worker
+	ring    *Ring
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRegistry builds a registry over the worker URLs (IDs are assigned
+// "w0".."wN-1" in order) and starts the probe loop. Workers start in
+// WorkerUnknown and are not routable until their first successful
+// probe — call ProbeOnce to admit the initial fleet synchronously.
+func NewRegistry(urls []string, opts RegistryOptions) (*Registry, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	opts = opts.withDefaults()
+	r := &Registry{
+		opts:  opts,
+		byID:  make(map[string]*Worker, len(urls)),
+		byURL: make(map[string]*Worker, len(urls)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	ringURLs := make([]string, len(urls))
+	for i, url := range urls {
+		url = strings.TrimSpace(strings.TrimRight(url, "/"))
+		if url == "" {
+			return nil, fmt.Errorf("cluster: empty worker URL at position %d", i)
+		}
+		c := service.NewClient(url)
+		c.RequestTimeout = opts.RequestTimeout
+		c.PollInterval = opts.PollInterval
+		w := &Worker{
+			ID:     fmt.Sprintf("w%d", i),
+			URL:    url,
+			Client: c,
+			state:  WorkerUnknown,
+		}
+		if _, dup := r.byURL[w.URL]; dup {
+			return nil, fmt.Errorf("cluster: duplicate worker URL %s", w.URL)
+		}
+		r.workers = append(r.workers, w)
+		r.byID[w.ID] = w
+		r.byURL[w.URL] = w
+		ringURLs[i] = w.URL
+	}
+	// The ring spans the whole fleet (not just the currently-up subset)
+	// and is keyed by worker *URL*, the worker's stable identity: a
+	// bouncing worker does not reshuffle its neighbours' keys, its own
+	// keys come home when it readmits, and restarting the coordinator
+	// with a reordered or shrunk -workers list keeps every surviving
+	// worker's warm checkpoints addressable (positional IDs like "w0"
+	// would remap nearly all keys on any fleet-list edit).
+	r.ring = NewRing(ringURLs, 0)
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the probe loop.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.mu.Unlock()
+	<-r.done
+}
+
+// Ring returns the fleet's consistent-hash ring.
+func (r *Registry) Ring() *Ring { return r.ring }
+
+// Worker resolves a worker ID.
+func (r *Registry) Worker(id string) (*Worker, bool) {
+	w, ok := r.byID[id]
+	return w, ok
+}
+
+// Workers returns the fleet in registration order.
+func (r *Registry) Workers() []*Worker { return append([]*Worker(nil), r.workers...) }
+
+// Up reports whether a worker is currently admitted.
+func (r *Registry) Up(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.byID[id]
+	return ok && w.state == WorkerUp
+}
+
+// UpCount returns the number of admitted workers.
+func (r *Registry) UpCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, w := range r.workers {
+		if w.state == WorkerUp {
+			n++
+		}
+	}
+	return n
+}
+
+// Info snapshots every worker's status in registration order.
+func (r *Registry) Info() []WorkerInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	infos := make([]WorkerInfo, len(r.workers))
+	for i, w := range r.workers {
+		info := WorkerInfo{
+			ID:      w.ID,
+			URL:     w.URL,
+			State:   w.state,
+			Fails:   w.fails,
+			LastErr: w.lastErr,
+			Stats:   w.health.Stats,
+			Version: w.health.Version,
+			Uptime:  w.health.Uptime,
+		}
+		if !w.probed.IsZero() {
+			info.ProbeAge = now.Sub(w.probed).Seconds()
+		}
+		infos[i] = info
+	}
+	return infos
+}
+
+// ReportFailure records a request-level failure against a worker (the
+// router calls this when a submit/wait fails): it counts toward the
+// same consecutive-failure ejection threshold as a failed probe, so
+// traffic ejects a dead worker faster than the probe cadence would.
+func (r *Registry) ReportFailure(id string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if w, ok := r.byID[id]; ok {
+		r.recordFailureLocked(w, err)
+	}
+}
+
+// probeLoop drives the periodic health round until Close.
+func (r *Registry) probeLoop() {
+	defer close(r.done)
+	t := time.NewTicker(r.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.ProbeOnce(context.Background())
+		}
+	}
+}
+
+// ProbeOnce runs one probe round: every due worker is health-checked
+// concurrently and its admission state updated. Down workers are only
+// probed once their backoff expires.
+func (r *Registry) ProbeOnce(ctx context.Context) {
+	r.mu.Lock()
+	now := time.Now()
+	var due []*Worker
+	for _, w := range r.workers {
+		if w.state == WorkerDown && now.Before(w.retryAt) {
+			continue
+		}
+		due = append(due, w)
+	}
+	r.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, w := range due {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, r.opts.ProbeTimeout)
+			defer cancel()
+			h, err := w.Client.Health(pctx)
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			w.probed = time.Now()
+			if err != nil {
+				r.recordFailureLocked(w, err)
+				return
+			}
+			w.health = h
+			w.fails = 0
+			w.backoff = 0
+			w.lastErr = ""
+			if h.Version != r.opts.FormatVersion {
+				w.state = WorkerIncompatible
+				w.lastErr = fmt.Sprintf("snapshot format version %d, coordinator requires %d", h.Version, r.opts.FormatVersion)
+				return
+			}
+			w.state = WorkerUp
+		}(w)
+	}
+	wg.Wait()
+}
+
+// recordFailureLocked applies one failure: bump the consecutive count,
+// eject at the threshold, and push the readmission probe out by the
+// (doubling) backoff.
+func (r *Registry) recordFailureLocked(w *Worker, err error) {
+	w.fails++
+	w.lastErr = err.Error()
+	if w.state == WorkerDown || w.fails >= r.opts.FailAfter {
+		w.state = WorkerDown
+		if w.backoff == 0 {
+			w.backoff = r.opts.BackoffBase
+		} else if w.backoff < r.opts.BackoffMax {
+			w.backoff = min(2*w.backoff, r.opts.BackoffMax)
+		}
+		w.retryAt = time.Now().Add(w.backoff)
+	}
+}

@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bump/internal/service"
+	"bump/internal/snapshot"
+)
+
+// fakeWorker is a controllable /v1/healthz endpoint.
+type fakeWorker struct {
+	srv     *httptest.Server
+	failing atomic.Bool
+	version atomic.Int64
+	probes  atomic.Int64
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	f := &fakeWorker{}
+	f.version.Store(snapshot.FormatVersion)
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		f.probes.Add(1)
+		if f.failing.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		json.NewEncoder(w).Encode(service.HealthPayload{
+			Status:  "ok",
+			Version: int(f.version.Load()),
+			Uptime:  1,
+		})
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// newManualRegistry builds a registry whose periodic loop is effectively
+// parked (huge interval) so tests drive rounds via ProbeOnce.
+func newManualRegistry(t *testing.T, opts RegistryOptions, urls ...string) *Registry {
+	t.Helper()
+	opts.ProbeInterval = time.Hour
+	if opts.ProbeTimeout == 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	r, err := NewRegistry(urls, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestRegistryAdmitsHealthyWorkers(t *testing.T) {
+	a, b := newFakeWorker(t), newFakeWorker(t)
+	r := newManualRegistry(t, RegistryOptions{}, a.srv.URL, b.srv.URL)
+	if r.UpCount() != 0 {
+		t.Fatal("workers must start unrouted before the first probe")
+	}
+	r.ProbeOnce(context.Background())
+	if r.UpCount() != 2 {
+		t.Fatalf("up=%d after probe, want 2", r.UpCount())
+	}
+	for _, info := range r.Info() {
+		if info.State != WorkerUp || info.Version != snapshot.FormatVersion {
+			t.Fatalf("worker %s: %+v", info.ID, info)
+		}
+	}
+}
+
+func TestRegistryEjectsAfterConsecutiveFailuresAndReadmits(t *testing.T) {
+	a := newFakeWorker(t)
+	r := newManualRegistry(t, RegistryOptions{
+		FailAfter:   2,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+	}, a.srv.URL)
+	r.ProbeOnce(context.Background())
+	if !r.Up("w0") {
+		t.Fatal("healthy worker not admitted")
+	}
+
+	a.failing.Store(true)
+	r.ProbeOnce(context.Background())
+	if !r.Up("w0") {
+		t.Fatal("one failure must not eject (FailAfter=2)")
+	}
+	r.ProbeOnce(context.Background())
+	if r.Up("w0") {
+		t.Fatal("worker must be ejected after 2 consecutive failures")
+	}
+
+	// While in backoff, probe rounds skip the worker entirely.
+	before := a.probes.Load()
+	r.ProbeOnce(context.Background())
+	if a.probes.Load() != before {
+		t.Fatal("down worker probed before its backoff expired")
+	}
+
+	// After backoff, a recovered worker is readmitted.
+	a.failing.Store(false)
+	time.Sleep(30 * time.Millisecond)
+	r.ProbeOnce(context.Background())
+	if !r.Up("w0") {
+		t.Fatal("recovered worker not readmitted after backoff")
+	}
+	if info := r.Info()[0]; info.Fails != 0 || info.LastErr != "" {
+		t.Fatalf("readmitted worker keeps stale failure state: %+v", info)
+	}
+}
+
+// TestRegistryRejectsMixedFormatVersions: a worker whose snapshot
+// format version differs is held out of routing (warm checkpoints are
+// not portable across versions) but readmitted after an in-place
+// upgrade.
+func TestRegistryRejectsMixedFormatVersions(t *testing.T) {
+	a := newFakeWorker(t)
+	a.version.Store(int64(snapshot.FormatVersion + 1))
+	r := newManualRegistry(t, RegistryOptions{}, a.srv.URL)
+	r.ProbeOnce(context.Background())
+	if r.Up("w0") {
+		t.Fatal("mixed-format-version worker must not be admitted")
+	}
+	info := r.Info()[0]
+	if info.State != WorkerIncompatible || info.LastErr == "" {
+		t.Fatalf("state %s, lastErr %q; want incompatible with reason", info.State, info.LastErr)
+	}
+
+	a.version.Store(snapshot.FormatVersion)
+	r.ProbeOnce(context.Background())
+	if !r.Up("w0") {
+		t.Fatal("upgraded worker must be readmitted")
+	}
+}
+
+// TestRegistryReportFailureEjects: request-level failures reported by
+// the router count toward ejection like probe failures, so traffic
+// ejects a dead worker between probe rounds.
+func TestRegistryReportFailureEjects(t *testing.T) {
+	a := newFakeWorker(t)
+	r := newManualRegistry(t, RegistryOptions{FailAfter: 2, BackoffBase: time.Minute}, a.srv.URL)
+	r.ProbeOnce(context.Background())
+	r.ReportFailure("w0", context.DeadlineExceeded)
+	r.ReportFailure("w0", context.DeadlineExceeded)
+	if r.Up("w0") {
+		t.Fatal("reported request failures must eject the worker")
+	}
+}
+
+func TestRegistryRejectsEmptyFleet(t *testing.T) {
+	if _, err := NewRegistry(nil, RegistryOptions{}); err == nil {
+		t.Fatal("empty fleet must be rejected")
+	}
+	if _, err := NewRegistry([]string{"http://ok", " "}, RegistryOptions{}); err == nil {
+		t.Fatal("blank worker URL must be rejected")
+	}
+	if _, err := NewRegistry([]string{"http://ok", "http://ok/"}, RegistryOptions{}); err == nil {
+		t.Fatal("duplicate worker URL must be rejected")
+	}
+}
+
+// TestRegistryRingStableAcrossFleetEdits: the ring is keyed by worker
+// URL, so restarting a coordinator with a reordered or shrunk -workers
+// list keeps every surviving worker's keys (and therefore its warm
+// checkpoints and cached results) in place. Positional IDs would remap
+// nearly everything on any fleet-list edit.
+func TestRegistryRingStableAcrossFleetEdits(t *testing.T) {
+	mk := func(urls ...string) *Registry {
+		r, err := NewRegistry(urls, RegistryOptions{ProbeInterval: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r.Close)
+		return r
+	}
+	const a, b, c = "http://a:8344", "http://b:8344", "http://c:8344"
+	before := mk(a, b, c)
+	after := mk(c, b) // a decommissioned, survivors reordered
+
+	moved := 0
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("warmkey-%d", i)
+		owner := before.Ring().Owner(k)
+		if owner == a {
+			moved++ // must redistribute; anywhere is fine
+			continue
+		}
+		if got := after.Ring().Owner(k); got != owner {
+			t.Fatalf("key %q moved from %s to %s across a fleet edit that kept its owner", k, owner, got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("decommissioned worker owned no keys — test is vacuous")
+	}
+}

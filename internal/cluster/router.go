@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bump/internal/service"
+	"bump/internal/sim"
+)
+
+// RouteKey returns a spec's affinity key. Warm-cacheable configurations
+// key by sim.WarmKey — the structural digest shared by every point of a
+// measured-parameter sweep — so the whole sweep pins to one worker and
+// its WarmStore simulates the warmup once. Everything else keys by the
+// full config hash, which still pins duplicate submissions (and their
+// result-cache hits) to one worker. warm reports which case applied.
+func RouteKey(spec service.JobSpec) (key string, warm bool, err error) {
+	cfg, err := spec.Config()
+	if err != nil {
+		return "", false, err
+	}
+	if wk, ok := sim.WarmKey(cfg); ok {
+		return wk, true, nil
+	}
+	hash, err := service.Hash(cfg)
+	if err != nil {
+		return "", false, err
+	}
+	return hash, false, nil
+}
+
+// Router executes jobs against the fleet: consistent-hash placement by
+// affinity key, then failover down the key's preference sequence when a
+// worker fails mid-flight. Re-execution on the next worker is safe
+// because results are a deterministic function of the configuration.
+type Router struct {
+	reg *Registry
+}
+
+// NewRouter returns a router over the registry's fleet.
+func NewRouter(reg *Registry) *Router { return &Router{reg: reg} }
+
+// ErrNoWorkers is returned when no admitted worker remains to try.
+var ErrNoWorkers = errors.New("cluster: no healthy workers")
+
+// pick returns the first admitted, untried worker in the key's
+// preference sequence (the ring is keyed by worker URL; tried is keyed
+// by worker ID).
+func (rt *Router) pick(key string, tried map[string]bool) (*Worker, bool) {
+	for _, url := range rt.reg.Ring().Sequence(key) {
+		w, ok := rt.reg.byURL[url]
+		if !ok || tried[w.ID] || !rt.reg.Up(w.ID) {
+			continue
+		}
+		return w, true
+	}
+	return nil, false
+}
+
+// clientFault reports whether an error is the caller's own fault (bad
+// spec → 4xx), where failing over to another worker would only repeat
+// the rejection. Worker-side trouble (transport errors, 5xx, a lost job
+// ID after a restart → 404) stays retryable.
+func clientFault(err error) bool {
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Code == http.StatusBadRequest
+}
+
+// Submit places a spec on the key's preference sequence with failover:
+// each worker-side submit failure strikes the worker (counting toward
+// ejection) and moves down the ring. tried accumulates struck worker
+// IDs so a caller retrying after a later failure (e.g. a lost wait)
+// never resubmits to a worker it already gave up on; pass nil to start
+// fresh. The returned status carries the worker-local job ID.
+func (rt *Router) Submit(ctx context.Context, key string, spec service.JobSpec, tried map[string]bool) (service.JobStatus, *Worker, error) {
+	if tried == nil {
+		tried = make(map[string]bool)
+	}
+	var lastErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			return service.JobStatus{}, nil, err
+		}
+		w, ok := rt.pick(key, tried)
+		if !ok {
+			if lastErr != nil {
+				return service.JobStatus{}, nil, fmt.Errorf("cluster: all workers failed, last: %w", lastErr)
+			}
+			return service.JobStatus{}, nil, ErrNoWorkers
+		}
+		st, err := w.Client.Submit(ctx, spec)
+		switch {
+		case err == nil:
+			return st, w, nil
+		case ctx.Err() != nil:
+			return service.JobStatus{}, nil, ctx.Err()
+		case clientFault(err):
+			return service.JobStatus{}, nil, err
+		}
+		// Worker-side failure: strike it, move down the sequence.
+		rt.reg.ReportFailure(w.ID, err)
+		tried[w.ID] = true
+		lastErr = err
+	}
+}
+
+// Run executes one spec with affinity routing and failover, returning
+// the terminal status (its ID namespaced "jNNN@worker") and the worker
+// that served it. A worker lost *after* submit (wait fails, job gone)
+// is struck like a failed submit and the job re-executes on the next
+// worker in the sequence — safe because results are a deterministic
+// function of the configuration.
+func (rt *Router) Run(ctx context.Context, spec service.JobSpec) (service.JobStatus, string, error) {
+	key, _, err := RouteKey(spec)
+	if err != nil {
+		return service.JobStatus{}, "", err
+	}
+	tried := make(map[string]bool)
+	for {
+		st, w, err := rt.Submit(ctx, key, spec, tried)
+		if err != nil {
+			return service.JobStatus{}, "", err
+		}
+		if !st.State.Terminal() {
+			st, err = w.Client.Wait(ctx, st.ID)
+		}
+		if err == nil {
+			st.ID = JoinJobID(st.ID, w.ID)
+			return st, w.ID, nil
+		}
+		if ctx.Err() != nil {
+			return service.JobStatus{}, "", ctx.Err()
+		}
+		rt.reg.ReportFailure(w.ID, err)
+		tried[w.ID] = true
+	}
+}
+
+// JoinJobID namespaces a worker-local job ID with its worker:
+// "j00000001" on w2 becomes "j00000001@w2". Clients treat job IDs as
+// opaque, so namespaced IDs flow through the /v1 protocol unchanged.
+func JoinJobID(jobID, workerID string) string {
+	return jobID + "@" + workerID
+}
+
+// SplitJobID undoes JoinJobID.
+func SplitJobID(id string) (jobID, workerID string, err error) {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '@' {
+			if i == 0 || i == len(id)-1 {
+				break
+			}
+			return id[:i], id[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("cluster: job ID %q carries no worker suffix", id)
+}

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strings"
+	"time"
 
 	"bump/internal/sim"
+	"bump/internal/snapshot"
 )
 
 // Metrics are the headline derived metrics of a completed run, included
@@ -20,7 +23,7 @@ type Metrics struct {
 	WriteCoverage float64 `json:"write_coverage"`
 }
 
-func metricsFor(r sim.Result) *Metrics {
+func MetricsFor(r sim.Result) *Metrics {
 	return &Metrics{
 		IPC:           r.IPC(),
 		RowHitRatio:   r.RowHitRatio(),
@@ -38,10 +41,10 @@ type JobPayload struct {
 	Metrics *Metrics `json:"metrics,omitempty"`
 }
 
-func payloadFor(st JobStatus) JobPayload {
+func PayloadFor(st JobStatus) JobPayload {
 	p := JobPayload{JobStatus: st}
 	if st.Result != nil {
-		p.Metrics = metricsFor(*st.Result)
+		p.Metrics = MetricsFor(*st.Result)
 	}
 	return p
 }
@@ -55,7 +58,14 @@ type ResultPayload struct {
 
 // HealthPayload is served by GET /v1/healthz.
 type HealthPayload struct {
-	Status string    `json:"status"`
+	Status string `json:"status"`
+	// Version is the snapshot.FormatVersion this build speaks. Warm
+	// checkpoints, snapshots and warm keys are not portable across
+	// format versions, so a cluster coordinator admits only workers
+	// whose version matches its own.
+	Version int `json:"version"`
+	// Uptime is seconds since this server started.
+	Uptime float64   `json:"uptime_s"`
 	Stats  PoolStats `json:"stats"`
 }
 
@@ -69,21 +79,30 @@ type HealthPayload struct {
 //	                          `done`/`failed`/`canceled` event carrying
 //	                          the full job payload
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	POST /v1/batch            submit a whole sweep; SSE `point` events
+//	                          as points finish, then one `batch` event
+//	                          with the ordered aggregate (plain JSON
+//	                          aggregate for non-SSE clients)
 //	GET  /v1/results/{hash}   cached result lookup by config hash
-//	GET  /v1/healthz          liveness + queue/cache statistics
+//	GET  /v1/healthz          liveness + queue/cache statistics,
+//	                          snapshot format version and uptime
 func NewHandler(p *Pool) http.Handler {
-	s := &server{pool: p}
+	s := &server{pool: p, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("POST /v1/batch", s.batch)
 	mux.HandleFunc("GET /v1/results/{hash}", s.result)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	return mux
 }
 
-type server struct{ pool *Pool }
+type server struct {
+	pool  *Pool
+	start time.Time
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -117,7 +136,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	if st.State.Terminal() {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, payloadFor(st))
+	writeJSON(w, code, PayloadFor(st))
 }
 
 func (s *server) job(w http.ResponseWriter, r *http.Request) {
@@ -126,7 +145,7 @@ func (s *server) job(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, payloadFor(st))
+	writeJSON(w, http.StatusOK, PayloadFor(st))
 }
 
 func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
@@ -140,7 +159,7 @@ func (s *server) cancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, payloadFor(st))
+	writeJSON(w, http.StatusOK, PayloadFor(st))
 }
 
 func (s *server) result(w http.ResponseWriter, r *http.Request) {
@@ -150,11 +169,60 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no cached result for %s", hash)
 		return
 	}
-	writeJSON(w, http.StatusOK, ResultPayload{Hash: hash, Result: res, Metrics: metricsFor(res)})
+	writeJSON(w, http.StatusOK, ResultPayload{Hash: hash, Result: res, Metrics: MetricsFor(res)})
 }
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthPayload{Status: "ok", Stats: s.pool.Stats()})
+	writeJSON(w, http.StatusOK, HealthPayload{
+		Status:  "ok",
+		Version: snapshot.FormatVersion,
+		Uptime:  time.Since(s.start).Seconds(),
+		Stats:   s.pool.Stats(),
+	})
+}
+
+// batch executes a whole sweep in one request. SSE clients (Accept:
+// text/event-stream) get a `point` event per completed point and a
+// terminal `batch` event with the ordered aggregate; other clients get
+// the aggregate as one JSON body once every point is terminal.
+func (s *server) batch(w http.ResponseWriter, r *http.Request) {
+	var spec BatchSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid batch spec: %v", err)
+		return
+	}
+	if !strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		res, err := RunBatch(r.Context(), s.pool, spec, nil)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	// onPoint runs serialized (RunBatch guarantees one goroutine at a
+	// time), so writes to the stream never interleave.
+	res, err := RunBatch(r.Context(), s.pool, spec, func(pt BatchPoint) {
+		writeSSE(w, fl, "point", pt)
+	})
+	if err != nil {
+		writeSSE(w, fl, "error", map[string]string{"error": err.Error()})
+		return
+	}
+	writeSSE(w, fl, "batch", res)
 }
 
 // events streams a job's progress as Server-Sent Events. Each engine
@@ -186,7 +254,7 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				// Terminal: emit the final payload and end the stream.
 				if st, err := s.pool.Job(id); err == nil {
-					writeSSE(w, fl, string(st.State), payloadFor(st))
+					writeSSE(w, fl, string(st.State), PayloadFor(st))
 				}
 				return
 			}

@@ -79,7 +79,7 @@ func TestAPISessionSubmitPollStreamResult(t *testing.T) {
 	// Submit: big enough that the SSE subscription attaches mid-run.
 	spec := specFixture()
 	spec.MeasureCycles = 2_000_000
-	st, err := client.Submit(spec)
+	st, err := client.Submit(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestAPISessionSubmitPollStreamResult(t *testing.T) {
 	}
 
 	// Resubmission of the same config: HTTP 200, served from cache.
-	resub, err := client.Submit(spec)
+	resub, err := client.Submit(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestAPISessionSubmitPollStreamResult(t *testing.T) {
 	}
 
 	// Result by hash.
-	res, ok, err := client.ResultByHash(st.Hash)
+	res, ok, err := client.ResultByHash(context.Background(), st.Hash)
 	if err != nil || !ok {
 		t.Fatalf("ResultByHash: ok=%v err=%v", ok, err)
 	}
@@ -150,7 +150,7 @@ func TestAPISessionSubmitPollStreamResult(t *testing.T) {
 	}
 
 	// Health reflects exactly one execution.
-	h, err := client.Health()
+	h, err := client.Health(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,15 +172,15 @@ func TestAPIErrorPaths(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body: %d, want 400", resp.StatusCode)
 	}
-	if _, err := client.Submit(JobSpec{Workload: "nope"}); err == nil {
+	if _, err := client.Submit(context.Background(), JobSpec{Workload: "nope"}); err == nil {
 		t.Error("unknown workload must be rejected")
 	}
 
 	// Unknown job and hash.
-	if _, err := client.Job("j-missing"); err == nil {
+	if _, err := client.Job(context.Background(), "j-missing"); err == nil {
 		t.Error("unknown job must 404")
 	}
-	if _, ok, err := client.ResultByHash("deadbeef"); err != nil || ok {
+	if _, ok, err := client.ResultByHash(context.Background(), "deadbeef"); err != nil || ok {
 		t.Errorf("unknown hash: ok=%v err=%v", ok, err)
 	}
 	resp, err = http.Get(srv.URL + "/v1/jobs/j-missing/events")
@@ -196,7 +196,7 @@ func TestAPIErrorPaths(t *testing.T) {
 func TestAPICancelEndpoint(t *testing.T) {
 	srv, _ := newTestServer(t, Options{Workers: 1})
 	client := NewClient(srv.URL)
-	st, err := client.Submit(longSpec())
+	st, err := client.Submit(context.Background(), longSpec())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -14,13 +15,20 @@ import (
 	"bump/internal/sim"
 )
 
-// Client talks to a bumpd server over the /v1 API. The zero poll
-// interval defaults to 250ms.
+// Client talks to a bumpd (or bumpctl) server over the /v1 API. Every
+// call takes a context and is additionally bounded by RequestTimeout,
+// so a hung server can never block a caller indefinitely — the failure
+// surfaces as an error carrying the worker's identity and the cluster
+// layer routes around it.
 type Client struct {
 	base string
 	http *http.Client
-	// PollInterval paces Wait's status polling.
+	// PollInterval paces Wait's status polling (default 250ms).
 	PollInterval time.Duration
+	// RequestTimeout bounds each non-streaming HTTP call (default 30s).
+	// Streaming calls (Events, Batch) are bounded by their context only:
+	// a progress stream legitimately outlives any fixed request budget.
+	RequestTimeout time.Duration
 }
 
 // NewClient returns a client for a server base URL (e.g.
@@ -28,89 +36,127 @@ type Client struct {
 func NewClient(base string) *Client {
 	return &Client{
 		base: strings.TrimRight(base, "/"),
-		http: &http.Client{Timeout: 30 * time.Second},
+		// No http.Client.Timeout: it would sever SSE streams mid-job.
+		// Non-streaming calls get per-request context deadlines instead.
+		http: &http.Client{},
 	}
+}
+
+// Base returns the server base URL — the worker's identity in cluster
+// topologies.
+func (c *Client) Base() string { return c.base }
+
+func (c *Client) requestTimeout() time.Duration {
+	if c.RequestTimeout > 0 {
+		return c.RequestTimeout
+	}
+	return 30 * time.Second
 }
 
 // APIError is a non-2xx server response; Code carries the HTTP status
-// so callers can branch on it (e.g. 404 = not found).
+// so callers can branch on it (e.g. 404 = not found) and Worker names
+// the server that produced it, so cluster failover can attribute the
+// failure to the right backend.
 type APIError struct {
 	Code    int
 	Message string
+	Worker  string
 }
 
 func (e *APIError) Error() string {
+	if e.Worker != "" {
+		return fmt.Sprintf("service: %s returned %d: %s", e.Worker, e.Code, e.Message)
+	}
 	return fmt.Sprintf("service: server returned %d: %s", e.Code, e.Message)
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// doJSON issues a request bounded by ctx plus RequestTimeout and
+// decodes the JSON response into out (when non-nil).
+func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return fmt.Errorf("service: %s %s: %w", c.base, method, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	// 64MB matches the server-side batch request bound: a full
+	// MaxBatchPoints aggregate with per-point results must fit.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		return fmt.Errorf("service: %s: read response: %w", c.base, err)
 	}
 	if resp.StatusCode >= 400 {
-		apiErr := &APIError{Code: resp.StatusCode, Message: resp.Status}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			apiErr.Message = e.Error
-		}
-		return apiErr
+		return c.apiError(resp.StatusCode, resp.Status, data)
 	}
 	if out != nil {
-		if err := json.Unmarshal(body, out); err != nil {
-			return fmt.Errorf("service: decode response: %w", err)
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("service: %s: decode response: %w", c.base, err)
 		}
 	}
 	return nil
 }
 
+// apiError builds an APIError from a non-2xx response, tolerating
+// non-JSON bodies (proxies, panics) by falling back to the HTTP status.
+func (c *Client) apiError(code int, status string, body []byte) *APIError {
+	apiErr := &APIError{Code: code, Message: status, Worker: c.base}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		apiErr.Message = e.Error
+	}
+	return apiErr
+}
+
 // Submit posts a job spec and returns the server's status snapshot
 // (which may already be done on a cache hit).
-func (c *Client) Submit(spec JobSpec) (JobStatus, error) {
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return JobStatus{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var p JobPayload
-	if err := c.do(req, &p); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, c.base+"/v1/jobs", body, &p); err != nil {
 		return JobStatus{}, err
 	}
 	return p.JobStatus, nil
 }
 
 // Job fetches a job's current status.
-func (c *Client) Job(id string) (JobStatus, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/jobs/"+id, nil)
-	if err != nil {
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var p JobPayload
+	if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil, &p); err != nil {
 		return JobStatus{}, err
 	}
+	return p.JobStatus, nil
+}
+
+// Cancel aborts a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 	var p JobPayload
-	if err := c.do(req, &p); err != nil {
+	if err := c.doJSON(ctx, http.MethodDelete, c.base+"/v1/jobs/"+id, nil, &p); err != nil {
 		return JobStatus{}, err
 	}
 	return p.JobStatus, nil
 }
 
 // ResultByHash fetches a cached result by config hash.
-func (c *Client) ResultByHash(hash string) (sim.Result, bool, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/results/"+hash, nil)
-	if err != nil {
-		return sim.Result{}, false, err
-	}
+func (c *Client) ResultByHash(ctx context.Context, hash string) (sim.Result, bool, error) {
 	var p ResultPayload
-	if err := c.do(req, &p); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/results/"+hash, nil, &p); err != nil {
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.Code == http.StatusNotFound {
 			return sim.Result{}, false, nil
@@ -121,26 +167,24 @@ func (c *Client) ResultByHash(hash string) (sim.Result, bool, error) {
 }
 
 // Health fetches /v1/healthz.
-func (c *Client) Health() (HealthPayload, error) {
-	req, err := http.NewRequest(http.MethodGet, c.base+"/v1/healthz", nil)
-	if err != nil {
-		return HealthPayload{}, err
-	}
+func (c *Client) Health(ctx context.Context) (HealthPayload, error) {
 	var h HealthPayload
-	if err := c.do(req, &h); err != nil {
+	if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/healthz", nil, &h); err != nil {
 		return HealthPayload{}, err
 	}
 	return h, nil
 }
 
 // Wait polls until the job reaches a terminal state or ctx expires.
+// Each poll is individually bounded by RequestTimeout, so a worker that
+// hangs mid-wait yields an error instead of blocking forever.
 func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 	poll := c.PollInterval
 	if poll <= 0 {
 		poll = 250 * time.Millisecond
 	}
 	for {
-		st, err := c.Job(id)
+		st, err := c.Job(ctx, id)
 		if err != nil {
 			return JobStatus{}, err
 		}
@@ -158,7 +202,7 @@ func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
 // Run submits a spec and blocks for its result — the remote counterpart
 // of Pool.Run.
 func (c *Client) Run(ctx context.Context, spec JobSpec) (sim.Result, error) {
-	st, err := c.Submit(spec)
+	st, err := c.Submit(ctx, spec)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -172,4 +216,135 @@ func (c *Client) Run(ctx context.Context, spec JobSpec) (sim.Result, error) {
 		return sim.Result{}, fmt.Errorf("service: job %s %s: %s", st.ID, st.State, st.Error)
 	}
 	return *st.Result, nil
+}
+
+// Event is one parsed Server-Sent Event: the event name and its raw
+// JSON data payload.
+type Event struct {
+	Name string
+	Data json.RawMessage
+}
+
+// Terminal reports whether the event closes a job stream (named after a
+// terminal job state, or a batch stream's final aggregate).
+func (e Event) Terminal() bool {
+	return State(e.Name).Terminal() || e.Name == "batch"
+}
+
+// stream issues a streaming request and delivers each SSE event to fn
+// until the stream ends, fn returns an error, or ctx is canceled. The
+// connection setup (headers received) is bounded by RequestTimeout;
+// the stream itself is bounded by ctx only.
+func (c *Client) stream(ctx context.Context, method, url string, body []byte, fn func(Event) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	connTimer := time.AfterFunc(c.requestTimeout(), cancel)
+	resp, err := c.http.Do(req)
+	connTimer.Stop()
+	if err != nil {
+		return fmt.Errorf("service: %s: stream: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return c.apiError(resp.StatusCode, resp.Status, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		return fmt.Errorf("service: %s: stream: unexpected content type %q", c.base, ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	// The terminal `batch` event carries a whole sweep's aggregate in
+	// one data line; allow it to grow to the same 64MB bound as JSON
+	// responses.
+	sc.Buffer(make([]byte, 64<<10), 64<<20)
+	var cur Event
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = json.RawMessage(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			if cur.Name != "" {
+				if err := fn(cur); err != nil {
+					return err
+				}
+			}
+			cur = Event{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("service: %s: stream: %w", c.base, err)
+	}
+	return nil
+}
+
+// Events follows a job's SSE progress stream, delivering every event
+// (progress snapshots, then one terminal event) to fn. It returns when
+// the stream ends, fn errors, or ctx is canceled — a slow or stalled
+// stream is abandoned cleanly via ctx.
+func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) error {
+	return c.stream(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil, fn)
+}
+
+// Batch submits a whole sweep in one request (POST /v1/batch) and
+// streams per-point completions to onPoint (which may be nil) as they
+// finish, returning the aggregate in submission order.
+func (c *Client) Batch(ctx context.Context, spec BatchSpec, onPoint func(BatchPoint)) (BatchResult, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return BatchResult{}, err
+	}
+	var res BatchResult
+	var sawBatch bool
+	err = c.stream(ctx, http.MethodPost, c.base+"/v1/batch", body, func(ev Event) error {
+		switch ev.Name {
+		case "point":
+			var pt BatchPoint
+			if err := json.Unmarshal(ev.Data, &pt); err != nil {
+				return fmt.Errorf("service: %s: decode batch point: %w", c.base, err)
+			}
+			if onPoint != nil {
+				onPoint(pt)
+			}
+		case "batch":
+			if err := json.Unmarshal(ev.Data, &res); err != nil {
+				return fmt.Errorf("service: %s: decode batch result: %w", c.base, err)
+			}
+			sawBatch = true
+		case "error":
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.Unmarshal(ev.Data, &e) == nil && e.Error != "" {
+				return &APIError{Code: http.StatusInternalServerError, Message: e.Error, Worker: c.base}
+			}
+			return &APIError{Code: http.StatusInternalServerError, Message: "batch failed", Worker: c.base}
+		}
+		return nil
+	})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if !sawBatch {
+		return BatchResult{}, fmt.Errorf("service: %s: batch stream ended without aggregate", c.base)
+	}
+	return res, nil
 }

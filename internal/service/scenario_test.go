@@ -140,7 +140,7 @@ func TestScenarioJobOverHTTP(t *testing.T) {
 		WarmupCycles:  15_000,
 		MeasureCycles: 30_000,
 	}
-	st, err := client.Submit(spec)
+	st, err := client.Submit(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestScenarioJobOverHTTP(t *testing.T) {
 		t.Errorf("result labelled %q", fin.Result.Workload)
 	}
 	// A resubmission hits the result cache by config hash.
-	again, err := client.Submit(spec)
+	again, err := client.Submit(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
