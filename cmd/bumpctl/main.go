@@ -14,21 +14,34 @@
 // build's (warm checkpoints are not portable across versions). A job
 // whose worker dies mid-run fails over to the next worker on the ring.
 //
+// With -data-dir the coordinator is durable: every accepted job ID,
+// sweep and fleet-membership change is written to a write-ahead log
+// before the client hears about it. A coordinator restarted on the same
+// directory replays the log, re-answers every pre-crash job ID, and
+// re-drives unfinished work to completion. Workers may also join by
+// heartbeating (bumpd -coordinator), so -workers is optional.
+//
 // Usage:
 //
 //	bumpctl -worker http://host1:8344 -worker http://host2:8344
 //	bumpctl -workers http://h1:8344,http://h2:8344,http://h3:8344 -addr :8343
+//	bumpctl -data-dir /var/lib/bumpctl            # durable, self-registering fleet
 //
 // Endpoints (see internal/cluster):
 //
-//	POST   /v1/jobs             submit a job (affinity-routed)
-//	GET    /v1/jobs/{id}        poll a job (proxied to its worker)
+//	POST   /v1/jobs             submit a job (affinity-routed, durable ID)
+//	GET    /v1/jobs/{id}        poll a job (answered across restarts)
 //	GET    /v1/jobs/{id}/events SSE progress stream (proxied)
 //	DELETE /v1/jobs/{id}        cancel a job (proxied)
 //	POST   /v1/batch            run a whole sweep; SSE per-point events
+//	GET    /v1/batch/{id}       sweep progress/aggregate, survives restarts
 //	GET    /v1/results/{hash}   cached result, fleet-wide lookup
-//	GET    /v1/healthz          aggregated fleet health
-//	GET    /v1/cluster          topology: per-worker state + statistics
+//	GET    /v1/healthz          aggregated fleet health + WAL stats
+//	GET    /v1/cluster          topology: per-worker state, lifecycle, stats
+//	POST   /v1/cluster/register worker heartbeat self-registration
+//	POST   /v1/cluster/cordon   stop new placements to a worker (reversible)
+//	POST   /v1/cluster/uncordon restore placements to a cordoned worker
+//	POST   /v1/cluster/drain    stop placements, eject once in-flight work ends
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 	"time"
 
 	"bump/internal/cluster"
+	"bump/internal/wal"
 )
 
 func main() {
@@ -57,6 +71,12 @@ func main() {
 		backoffMx = flag.Duration("backoff-max", 30*time.Second, "readmission-probe backoff ceiling")
 		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request timeout for worker calls")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		dataDir   = flag.String("data-dir", "", "WAL directory for durable coordinator state (empty = memory-only)")
+		segBytes  = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = 4MiB default)")
+		noSync    = flag.Bool("wal-no-sync", false, "skip fsync on WAL appends (faster, loses the tail on power loss)")
+		compactN  = flag.Uint64("compact-every", 0, "WAL appends between checkpoint compactions (0 = 512 default)")
+		retainJ   = flag.Int("retain-jobs", 0, "terminal solo-job records retained for status queries (0 = 4096 default)")
+		retainB   = flag.Int("retain-batches", 0, "completed sweeps retained with their points (0 = 64 default)")
 	)
 	flag.Func("worker", "bumpd worker base URL (repeatable)", func(url string) error {
 		workerURLs = append(workerURLs, url)
@@ -67,7 +87,7 @@ func main() {
 		workerURLs = append(workerURLs, strings.Split(*workers, ",")...)
 	}
 	if len(workerURLs) == 0 {
-		log.Fatal("bumpctl: no workers; pass -worker URL (repeatable) or -workers url1,url2,...")
+		log.Print("bumpctl: no seed workers; fleet joins via heartbeat self-registration (bumpd -coordinator)")
 	}
 
 	coord, err := cluster.New(context.Background(), cluster.Options{
@@ -79,15 +99,25 @@ func main() {
 			BackoffMax:     *backoffMx,
 			RequestTimeout: *reqTO,
 		},
+		DataDir:       *dataDir,
+		WAL:           wal.Options{SegmentBytes: *segBytes, NoSync: *noSync},
+		CompactEvery:  *compactN,
+		RetainJobs:    *retainJ,
+		RetainBatches: *retainB,
 	})
 	if err != nil {
 		log.Fatalf("bumpctl: %v", err)
 	}
 	top := coord.Topology()
 	for _, w := range top.Workers {
-		log.Printf("bumpctl: worker %s %s [%s]", w.ID, w.URL, w.State)
+		log.Printf("bumpctl: worker %s %s [%s/%s]", w.ID, w.URL, w.State, w.Lifecycle)
 	}
 	log.Printf("bumpctl: %d/%d workers up (format version %d)", top.Up, top.Total, top.Version)
+	if *dataDir != "" {
+		h := coord.Health()
+		log.Printf("bumpctl: durable state in %s (replayed %d records, %d jobs; %d in-flight jobs recovered)",
+			*dataDir, h.WAL.ReplayedRecords, h.WAL.ReplayedJobs, h.WAL.RecoveredJobs)
+	}
 
 	srv := &http.Server{
 		Addr:        *addr,

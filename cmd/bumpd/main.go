@@ -8,6 +8,14 @@
 //	bumpd                                  # listen on :8344
 //	bumpd -addr :9000 -workers 8 -cache 512 -timeout 5m
 //	bumpd -scenario peak.json -scenario canary.json   # register scenario files
+//	bumpd -coordinator http://ctl:8343 -advertise http://host1:8344
+//
+// With -coordinator the worker heartbeats POST /v1/cluster/register
+// every -heartbeat interval, joining the bumpctl fleet without being
+// listed in its -workers flag — and rejoining automatically after
+// either side restarts. -advertise is the base URL the coordinator
+// should reach this worker at (required with -coordinator; the listen
+// address alone does not name a host).
 //
 // Job specs may name a scenario instead of a workload — either one of
 // the built-ins (consolidated, diurnal-shift, phase-swap, bursty-writer)
@@ -38,6 +46,7 @@ import (
 
 	"bump/internal/scenario"
 	"bump/internal/service"
+	"bump/internal/snapshot"
 )
 
 func main() {
@@ -51,6 +60,9 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		warm     = flag.Bool("warm", false, "share warmup-end checkpoints between jobs that differ only in measured parameters")
 		warmSz   = flag.Int("warm-cache", 16, "warm-checkpoint cache entries (with -warm)")
+		coord    = flag.String("coordinator", "", "bumpctl base URL to heartbeat-register with (self-registration; no static -workers entry needed)")
+		adv      = flag.String("advertise", "", "base URL the coordinator reaches this worker at (required with -coordinator)")
+		beat     = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval (with -coordinator)")
 	)
 	flag.Func("scenario", "scenario spec file to register under its name (repeatable); jobs reference it via {\"scenario\": \"<name>\"}", func(path string) error {
 		sc, err := scenario.Load(path)
@@ -88,6 +100,33 @@ func main() {
 			*addr, pool.Stats().Workers, *cacheSz, *timeout)
 		errc <- srv.ListenAndServe()
 	}()
+
+	// Heartbeat self-registration: beat until shutdown; the coordinator
+	// admits us on the first beat and revives us after either side
+	// restarts.
+	beatCtx, stopBeat := context.WithCancel(context.Background())
+	defer stopBeat()
+	if *coord != "" {
+		if *adv == "" {
+			log.Fatal("bumpd: -coordinator requires -advertise (the base URL the coordinator reaches this worker at)")
+		}
+		go func() {
+			registered := false
+			service.NewClient(*coord).Heartbeat(beatCtx,
+				service.RegisterRequest{URL: *adv, Version: snapshot.FormatVersion},
+				*beat,
+				func(resp service.RegisterResponse, err error) {
+					switch {
+					case err != nil:
+						registered = false
+						log.Printf("bumpd: heartbeat to %s failed: %v", *coord, err)
+					case !registered:
+						registered = true
+						log.Printf("bumpd: registered with %s as %s [%s/%s]", *coord, resp.ID, resp.State, resp.Lifecycle)
+					}
+				})
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,95 @@
+// Package faultserver provides fault-injecting HTTP test servers:
+// workers that answer with non-JSON 500s, hang connections open, or
+// dribble SSE forever. It is the shared chaos vocabulary of the service
+// and cluster test suites (imports only the standard library, so any
+// package may use it without cycles).
+package faultserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Handler is a fault-injecting request handler. Handlers that hang
+// must select on stop, which New closes at test cleanup before the
+// server shuts down (a client disconnect alone does not cancel the
+// request context while a request body sits unread).
+type Handler func(w http.ResponseWriter, r *http.Request, stop <-chan struct{})
+
+// New starts a server running h, wired for clean shutdown: the stop
+// channel closes before the server does (cleanups run LIFO).
+func New(t testing.TB, h Handler) *httptest.Server {
+	t.Helper()
+	stop := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h(w, r, stop)
+	}))
+	t.Cleanup(srv.Close)
+	t.Cleanup(func() { close(stop) })
+	return srv
+}
+
+// NonJSON500 answers every request with an HTML 500 — the classic
+// exploding-proxy body that must not leak into client error messages.
+func NonJSON500() Handler {
+	return func(w http.ResponseWriter, r *http.Request, _ <-chan struct{}) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, "<html>proxy exploded</html>")
+	}
+}
+
+// JSONError answers every request with a well-formed API error.
+func JSONError(code int, msg string) Handler {
+	return func(w http.ResponseWriter, r *http.Request, _ <-chan struct{}) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		fmt.Fprintf(w, `{"error":%q}`, msg)
+	}
+}
+
+// Garbage200 answers 200 with a body that is not JSON.
+func Garbage200() Handler {
+	return func(w http.ResponseWriter, r *http.Request, _ <-chan struct{}) {
+		fmt.Fprint(w, "these are not the bytes you are looking for")
+	}
+}
+
+// Hung accepts requests and never answers (until client disconnect or
+// test end) — the failure mode that wedges naive clients forever.
+func Hung() Handler {
+	return func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
+		select {
+		case <-r.Context().Done():
+		case <-stop:
+		}
+	}
+}
+
+// SlowSSE streams progress events forever at the given interval — an
+// events endpoint that never reaches a terminal event.
+func SlowSSE(interval time.Duration) Handler {
+	return func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		for i := 0; ; i++ {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-stop:
+				return
+			case <-time.After(interval):
+			}
+			fmt.Fprintf(w, "event: progress\ndata: {\"Cycle\":%d}\n\n", i)
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package chaos provides controllable network-fault injection for
+// cluster tests: a reverse proxy whose link can be cut, restored or
+// slowed at runtime, standing between a coordinator and a worker (or a
+// worker's heartbeat and its coordinator). Imports only the standard
+// library so it can never cycle with the packages under test.
+package chaos
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Proxy forwards HTTP traffic to a target, with runtime-switchable
+// faults: Drop severs every new connection at the TCP level (a dead
+// host, not a polite 5xx), Delay adds fixed latency to each request.
+type Proxy struct {
+	srv   *httptest.Server
+	drop  atomic.Bool
+	delay atomic.Int64 // nanoseconds
+}
+
+// NewProxy starts a proxy in front of target (a base URL).
+func NewProxy(t testing.TB, target string) *Proxy {
+	t.Helper()
+	u, err := url.Parse(target)
+	if err != nil {
+		t.Fatalf("chaos: bad proxy target %q: %v", target, err)
+	}
+	p := &Proxy{}
+	rp := httputil.NewSingleHostReverseProxy(u)
+	rp.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if d := time.Duration(p.delay.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if p.drop.Load() {
+			// Sever the connection without a response: indistinguishable
+			// from a host that died.
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+					return
+				}
+			}
+			panic(http.ErrAbortHandler)
+		}
+		rp.ServeHTTP(w, r)
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+// URL is the proxy's front address — hand this to the component whose
+// link should be faultable.
+func (p *Proxy) URL() string { return p.srv.URL }
+
+// Drop cuts (true) or restores (false) the link.
+func (p *Proxy) Drop(on bool) { p.drop.Store(on) }
+
+// Delay sets the per-request added latency (0 restores full speed).
+func (p *Proxy) Delay(d time.Duration) { p.delay.Store(int64(d)) }

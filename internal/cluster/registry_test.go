@@ -158,15 +158,134 @@ func TestRegistryReportFailureEjects(t *testing.T) {
 	}
 }
 
-func TestRegistryRejectsEmptyFleet(t *testing.T) {
-	if _, err := NewRegistry(nil, RegistryOptions{}); err == nil {
-		t.Fatal("empty fleet must be rejected")
+// TestRegistryFleetValidation: an empty seed fleet is valid (workers
+// join via heartbeat self-registration), but blank and duplicate URLs
+// stay rejected.
+func TestRegistryFleetValidation(t *testing.T) {
+	r, err := NewRegistry(nil, RegistryOptions{ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatalf("empty seed fleet must be valid (self-registration): %v", err)
+	}
+	defer r.Close()
+	if n := len(r.Workers()); n != 0 {
+		t.Fatalf("empty fleet has %d workers", n)
 	}
 	if _, err := NewRegistry([]string{"http://ok", " "}, RegistryOptions{}); err == nil {
 		t.Fatal("blank worker URL must be rejected")
 	}
 	if _, err := NewRegistry([]string{"http://ok", "http://ok/"}, RegistryOptions{}); err == nil {
 		t.Fatal("duplicate worker URL must be rejected")
+	}
+}
+
+// TestRegistryHeartbeatRegistration: a heartbeat admits an unknown
+// worker immediately (no probe round needed), refreshes a known one,
+// and revives an ejected one.
+func TestRegistryHeartbeatRegistration(t *testing.T) {
+	r := newManualRegistry(t, RegistryOptions{})
+	info, changed, err := r.Register("http://w:8344/", snapshot.FormatVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("first registration must report a membership change")
+	}
+	if info.State != WorkerUp || info.Lifecycle != LifecycleActive {
+		t.Fatalf("registered worker: %+v", info)
+	}
+	if !r.Routable(info.ID) {
+		t.Fatal("heartbeat-registered worker must be routable")
+	}
+	if r.Ring().Owner("some-key") != "http://w:8344" {
+		t.Fatal("registered worker missing from the ring")
+	}
+
+	// Re-registration of the same URL (trailing slash and all): no change.
+	again, changed, err := r.Register("http://w:8344", snapshot.FormatVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed || again.ID != info.ID {
+		t.Fatalf("re-registration minted a new identity: %+v changed=%v", again, changed)
+	}
+
+	// A version-skewed heartbeat registers but is held out of routing.
+	skew, _, err := r.Register("http://skew:8344", snapshot.FormatVersion+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew.State != WorkerIncompatible || r.Routable(skew.ID) {
+		t.Fatalf("version-skewed worker routable: %+v", skew)
+	}
+
+	// Revival: ejected workers come back active on their next beat.
+	if _, err := r.SetLifecycle(info.ID, LifecycleEjected); err != nil {
+		t.Fatal(err)
+	}
+	if r.Routable(info.ID) {
+		t.Fatal("ejected worker must not be routable")
+	}
+	revived, changed, err := r.Register("http://w:8344", snapshot.FormatVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || revived.Lifecycle != LifecycleActive || !r.Routable(info.ID) {
+		t.Fatalf("heartbeat did not revive ejected worker: %+v changed=%v", revived, changed)
+	}
+}
+
+// TestRegistryLifecycleGatesRouting: cordon/drain stop new placements
+// without touching health state; uncordon restores routing.
+func TestRegistryLifecycleGatesRouting(t *testing.T) {
+	a := newFakeWorker(t)
+	r := newManualRegistry(t, RegistryOptions{}, a.srv.URL)
+	r.ProbeOnce(context.Background())
+	if !r.Routable("w0") {
+		t.Fatal("healthy active worker must be routable")
+	}
+	for _, lc := range []Lifecycle{LifecycleCordoned, LifecycleDraining, LifecycleEjected} {
+		if _, err := r.SetLifecycle("w0", lc); err != nil {
+			t.Fatal(err)
+		}
+		if r.Routable("w0") {
+			t.Fatalf("%s worker must not be routable", lc)
+		}
+		if lc != LifecycleEjected && !r.Up("w0") {
+			t.Fatalf("%s must not change health admission", lc)
+		}
+	}
+	if _, err := r.SetLifecycle("w0", LifecycleActive); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Routable("w0") {
+		t.Fatal("uncordoned worker must be routable again")
+	}
+}
+
+// TestRegistryBackoffJitter: readmission backoff deadlines are jittered
+// so a fleet that died together does not retry in one synchronized
+// thundering herd.
+func TestRegistryBackoffJitter(t *testing.T) {
+	r := newManualRegistry(t, RegistryOptions{FailAfter: 1, BackoffBase: time.Minute, BackoffMax: time.Minute})
+	for i := 0; i < 16; i++ {
+		if _, err := r.Add(fmt.Sprintf("http://w%d:8344", i), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.mu.Lock()
+	for _, w := range r.workers {
+		r.recordFailureLocked(w, context.DeadlineExceeded)
+	}
+	deadlines := make(map[time.Time]bool)
+	for _, w := range r.workers {
+		if w.retryAt.IsZero() {
+			t.Fatal("failed worker has no retry deadline")
+		}
+		deadlines[w.retryAt] = true
+	}
+	r.mu.Unlock()
+	if len(deadlines) < 2 {
+		t.Fatal("all 16 backoff deadlines identical: no jitter applied")
 	}
 }
 

@@ -45,13 +45,15 @@ func NewRouter(reg *Registry) *Router { return &Router{reg: reg} }
 // ErrNoWorkers is returned when no admitted worker remains to try.
 var ErrNoWorkers = errors.New("cluster: no healthy workers")
 
-// pick returns the first admitted, untried worker in the key's
+// pick returns the first routable, untried worker in the key's
 // preference sequence (the ring is keyed by worker URL; tried is keyed
-// by worker ID).
+// by worker ID). Routable means healthy AND lifecycle-active: cordoned,
+// draining and ejected workers take no new placements, so a drained
+// worker's warm-affinity keys remap to its ring successors here.
 func (rt *Router) pick(key string, tried map[string]bool) (*Worker, bool) {
 	for _, url := range rt.reg.Ring().Sequence(key) {
-		w, ok := rt.reg.byURL[url]
-		if !ok || tried[w.ID] || !rt.reg.Up(w.ID) {
+		w, ok := rt.reg.WorkerByURL(url)
+		if !ok || tried[w.ID] || !rt.reg.Routable(w.ID) {
 			continue
 		}
 		return w, true

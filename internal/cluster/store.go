@@ -1,0 +1,486 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"bump/internal/service"
+	"bump/internal/sim"
+	"bump/internal/wal"
+)
+
+// Store is the coordinator's durable truth: job records, batch
+// membership and fleet lifecycle, held in memory and (when opened with
+// a data directory) persisted through an append-only WAL. Every
+// mutation is logged before it is visible; a coordinator restarted on
+// the same directory replays the log and carries on. Opened without a
+// directory the store is memory-only — same semantics, no durability —
+// which is what embedded coordinators (sweep -server w1,w2) use.
+//
+// Record encoding: one type byte ('J' job, 'B' batch, 'W' worker,
+// 'C' checkpoint) followed by the record's canonical JSON. Mutations
+// are whole-record upserts, so replay is a pure "last write wins" fold;
+// a checkpoint record carries the entire folded state and resets it,
+// which is what lets wal.Log.Compact bound replay work.
+type Store struct {
+	mu  sync.Mutex
+	log *wal.Log
+
+	jobs    map[string]*JobRecord
+	batches map[string]*BatchRecord
+	workers map[string]WorkerRecord // keyed by URL
+	jobSeq  uint64                  // coordinator-local job ID counter
+	bseq    uint64                  // batch ID counter
+
+	compactEvery  uint64
+	sinceCompact  uint64
+	replayedJobs  int
+	recoveredJobs int
+}
+
+// JobRecord is one tracked job. ID is the client-visible identifier,
+// assigned by the coordinator and stable across worker failover and
+// coordinator restarts; Worker/Local name the current assignment.
+type JobRecord struct {
+	ID    string          `json:"id"`
+	Spec  service.JobSpec `json:"spec"`
+	Key   string          `json:"key"`
+	State service.State   `json:"state"`
+	// Worker is the serving worker's registry ID, Local its job ID on
+	// that worker. Empty while the job awaits (re-)placement.
+	Worker string `json:"worker,omitempty"`
+	Local  string `json:"local,omitempty"`
+	// Terminal outcome.
+	Hash   string      `json:"hash,omitempty"`
+	Cached bool        `json:"cached,omitempty"`
+	Result *sim.Result `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+	// Batch/Index link a batch point back to its sweep.
+	Batch string `json:"batch,omitempty"`
+	Index int    `json:"index,omitempty"`
+}
+
+// BatchRecord is one tracked sweep: the full spec list plus the job ID
+// of every point already placed ("" until its job record exists).
+type BatchRecord struct {
+	ID    string            `json:"id"`
+	Specs []service.JobSpec `json:"specs"`
+	Jobs  []string          `json:"jobs"`
+}
+
+// WorkerRecord persists fleet membership and lifecycle so a restarted
+// coordinator knows its fleet before the first heartbeat arrives.
+type WorkerRecord struct {
+	ID        string    `json:"id"`
+	URL       string    `json:"url"`
+	Lifecycle Lifecycle `json:"lifecycle"`
+}
+
+// storeState is the checkpoint payload: the whole folded state.
+type storeState struct {
+	JobSeq  uint64         `json:"job_seq"`
+	Bseq    uint64         `json:"batch_seq"`
+	Workers []WorkerRecord `json:"workers"`
+	Jobs    []JobRecord    `json:"jobs"`
+	Batches []BatchRecord  `json:"batches"`
+}
+
+const (
+	recJob        = 'J'
+	recBatch      = 'B'
+	recWorker     = 'W'
+	recCheckpoint = 'C'
+)
+
+// StoreOptions tunes durability. Zero values pick defaults.
+type StoreOptions struct {
+	// Dir is the WAL directory; empty means memory-only.
+	Dir string
+	// WAL tunes segment rotation and fsync.
+	WAL wal.Options
+	// CompactEvery writes a checkpoint record and drops old segments
+	// after this many appends (default 512).
+	CompactEvery uint64
+}
+
+// OpenStore opens (or creates) the store, replaying any existing WAL.
+func OpenStore(opts StoreOptions) (*Store, error) {
+	s := &Store{
+		jobs:         make(map[string]*JobRecord),
+		batches:      make(map[string]*BatchRecord),
+		workers:      make(map[string]WorkerRecord),
+		compactEvery: opts.CompactEvery,
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = 512
+	}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	log, err := wal.Open(opts.Dir, opts.WAL, s.fold)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	s.replayedJobs = len(s.jobs)
+	for _, j := range s.jobs {
+		if !j.State.Terminal() {
+			s.recoveredJobs++
+		}
+	}
+	// Collapse the replayed history into one checkpoint so every
+	// restart starts from a compact log.
+	if err := s.compactLocked(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// fold applies one replayed WAL record to the in-memory state.
+func (s *Store) fold(rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("cluster: empty WAL record")
+	}
+	body := rec[1:]
+	switch rec[0] {
+	case recJob:
+		var j JobRecord
+		if err := json.Unmarshal(body, &j); err != nil {
+			return fmt.Errorf("cluster: job record: %w", err)
+		}
+		s.jobs[j.ID] = &j
+		var n uint64
+		if _, err := fmt.Sscanf(j.ID, "c%d", &n); err == nil && n > s.jobSeq {
+			s.jobSeq = n
+		}
+	case recBatch:
+		var b BatchRecord
+		if err := json.Unmarshal(body, &b); err != nil {
+			return fmt.Errorf("cluster: batch record: %w", err)
+		}
+		s.batches[b.ID] = &b
+		var n uint64
+		if _, err := fmt.Sscanf(b.ID, "b%d", &n); err == nil && n > s.bseq {
+			s.bseq = n
+		}
+	case recWorker:
+		var w WorkerRecord
+		if err := json.Unmarshal(body, &w); err != nil {
+			return fmt.Errorf("cluster: worker record: %w", err)
+		}
+		s.workers[w.URL] = w
+	case recCheckpoint:
+		var st storeState
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("cluster: checkpoint record: %w", err)
+		}
+		s.jobs = make(map[string]*JobRecord, len(st.Jobs))
+		s.batches = make(map[string]*BatchRecord, len(st.Batches))
+		s.workers = make(map[string]WorkerRecord, len(st.Workers))
+		for i := range st.Jobs {
+			j := st.Jobs[i]
+			s.jobs[j.ID] = &j
+		}
+		for i := range st.Batches {
+			b := st.Batches[i]
+			s.batches[b.ID] = &b
+		}
+		for _, w := range st.Workers {
+			s.workers[w.URL] = w
+		}
+		s.jobSeq = st.JobSeq
+		s.bseq = st.Bseq
+	default:
+		return fmt.Errorf("cluster: unknown WAL record type %#x", rec[0])
+	}
+	return nil
+}
+
+// appendLocked logs one typed record. Compaction is NOT triggered here:
+// checkpoints snapshot the in-memory state, so the caller must apply its
+// mutation first and then call maybeCompactLocked — compacting before
+// the apply would write a checkpoint missing the record just appended
+// and then delete that record with the old segments.
+func (s *Store) appendLocked(kind byte, v any) error {
+	if s.log == nil {
+		return nil
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if err := s.log.Append(append([]byte{kind}, body...)); err != nil {
+		return err
+	}
+	s.sinceCompact++
+	return nil
+}
+
+// maybeCompactLocked checkpoints on the configured cadence.
+func (s *Store) maybeCompactLocked() error {
+	if s.log == nil || s.sinceCompact < s.compactEvery {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// compactLocked checkpoints the folded state and drops old segments.
+// Terminal jobs stay in the checkpoint (they answer pre-crash status
+// queries); the bounded retention applied by the coordinator keeps the
+// set from growing without limit.
+func (s *Store) compactLocked() error {
+	if s.log == nil {
+		return nil
+	}
+	st := storeState{JobSeq: s.jobSeq, Bseq: s.bseq}
+	for _, j := range s.jobs {
+		st.Jobs = append(st.Jobs, *j)
+	}
+	for _, b := range s.batches {
+		st.Batches = append(st.Batches, *b)
+	}
+	for _, w := range s.workers {
+		st.Workers = append(st.Workers, w)
+	}
+	// Canonical order: checkpoints of equal state are byte-identical.
+	sort.Slice(st.Jobs, func(i, j int) bool { return st.Jobs[i].ID < st.Jobs[j].ID })
+	sort.Slice(st.Batches, func(i, j int) bool { return st.Batches[i].ID < st.Batches[j].ID })
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].URL < st.Workers[j].URL })
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if err := s.log.Compact(append([]byte{recCheckpoint}, body...)); err != nil {
+		return err
+	}
+	s.sinceCompact = 0
+	return nil
+}
+
+// NextJobID mints a coordinator-scoped job ID ("c00000001"). The
+// counter survives restarts via the WAL, so IDs never collide with
+// pre-crash jobs.
+func (s *Store) NextJobID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobSeq++
+	return fmt.Sprintf("c%08d", s.jobSeq)
+}
+
+// NextBatchID mints a batch ID ("b00000001").
+func (s *Store) NextBatchID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bseq++
+	return fmt.Sprintf("b%08d", s.bseq)
+}
+
+// PutJob durably upserts a job record.
+func (s *Store) PutJob(j JobRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(recJob, j); err != nil {
+		return err
+	}
+	cp := j
+	s.jobs[j.ID] = &cp
+	return s.maybeCompactLocked()
+}
+
+// Job returns a copy of a job record.
+func (s *Store) Job(id string) (JobRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobRecord{}, false
+	}
+	return *j, true
+}
+
+// Jobs returns copies of all job records, ordered by ID.
+func (s *Store) Jobs() []JobRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobRecord, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DropJobs removes terminal job records (retention enforcement). Jobs
+// linked to a still-tracked batch are kept regardless, so a recovered
+// batch can always rebuild its aggregate.
+func (s *Store) DropJobs(ids []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := false
+	for _, id := range ids {
+		j, ok := s.jobs[id]
+		if !ok || !j.State.Terminal() {
+			continue
+		}
+		if j.Batch != "" {
+			if _, live := s.batches[j.Batch]; live {
+				continue
+			}
+		}
+		delete(s.jobs, id)
+		dropped = true
+	}
+	if !dropped {
+		return nil
+	}
+	// Deletion has no incremental record type; fold it into the next
+	// checkpoint immediately (cheap at retention cadence).
+	return s.compactLocked()
+}
+
+// SetBatchJob durably links batch point index i to its job record. The
+// read-modify-write happens under the store lock, so concurrent point
+// placements never lose each other's links.
+func (s *Store) SetBatchJob(batchID string, i int, jobID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[batchID]
+	if !ok {
+		return fmt.Errorf("cluster: unknown batch %q", batchID)
+	}
+	if i < 0 || i >= len(b.Jobs) {
+		return fmt.Errorf("cluster: batch %s has no point %d", batchID, i)
+	}
+	b.Jobs[i] = jobID
+	if err := s.appendLocked(recBatch, *b); err != nil {
+		return err
+	}
+	return s.maybeCompactLocked()
+}
+
+// DropBatch removes a batch record and every job record linked to it
+// (retention enforcement for completed sweeps).
+func (s *Store) DropBatch(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	if !ok {
+		return nil
+	}
+	for _, jid := range b.Jobs {
+		if jid != "" {
+			delete(s.jobs, jid)
+		}
+	}
+	delete(s.batches, id)
+	// Deletion has no incremental record type; fold it into the next
+	// checkpoint immediately (cheap at retention cadence).
+	return s.compactLocked()
+}
+
+// PutBatch durably upserts a batch record.
+func (s *Store) PutBatch(b BatchRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(recBatch, b); err != nil {
+		return err
+	}
+	cp := b
+	cp.Specs = append([]service.JobSpec(nil), b.Specs...)
+	cp.Jobs = append([]string(nil), b.Jobs...)
+	s.batches[b.ID] = &cp
+	return s.maybeCompactLocked()
+}
+
+// Batch returns a copy of a batch record.
+func (s *Store) Batch(id string) (BatchRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	if !ok {
+		return BatchRecord{}, false
+	}
+	cp := *b
+	cp.Specs = append([]service.JobSpec(nil), b.Specs...)
+	cp.Jobs = append([]string(nil), b.Jobs...)
+	return cp, true
+}
+
+// Batches returns copies of all batch records, ordered by ID.
+func (s *Store) Batches() []BatchRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]BatchRecord, 0, len(s.batches))
+	for _, b := range s.batches {
+		cp := *b
+		cp.Specs = append([]service.JobSpec(nil), b.Specs...)
+		cp.Jobs = append([]string(nil), b.Jobs...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PutWorker durably upserts a fleet-membership record.
+func (s *Store) PutWorker(w WorkerRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(recWorker, w); err != nil {
+		return err
+	}
+	s.workers[w.URL] = w
+	return s.maybeCompactLocked()
+}
+
+// FleetWorkers returns the persisted fleet, ordered by worker ID.
+func (s *Store) FleetWorkers() []WorkerRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerRecord, 0, len(s.workers))
+	for _, w := range s.workers {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// StoreStats reports durability state for /v1/healthz.
+type StoreStats struct {
+	WAL           wal.Stats
+	Durable       bool
+	Jobs, Batches int
+	ReplayedJobs  int
+	RecoveredJobs int
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Durable:       s.log != nil,
+		Jobs:          len(s.jobs),
+		Batches:       len(s.batches),
+		ReplayedJobs:  s.replayedJobs,
+		RecoveredJobs: s.recoveredJobs,
+	}
+	if s.log != nil {
+		st.WAL = s.log.Stats()
+	}
+	return st
+}
+
+// Close closes the underlying WAL (no final checkpoint: Close must be
+// indistinguishable from a crash so recovery is exercised on every
+// restart path, not only the unlucky ones).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"bump/internal/service"
+	"bump/internal/wal"
+)
+
+func openTestStore(t *testing.T, dir string, opts StoreOptions) *Store {
+	t.Helper()
+	opts.Dir = dir
+	s, err := OpenStore(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreDurableRoundTrip: every record kind — jobs (terminal and in
+// flight), batch membership, fleet lifecycle — plus the ID counters
+// survive a close/reopen cycle on the same directory.
+func TestStoreDurableRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	if err := s.PutWorker(WorkerRecord{ID: "w0", URL: "http://a:8344", Lifecycle: LifecycleDraining}); err != nil {
+		t.Fatal(err)
+	}
+
+	doneID := s.NextJobID()
+	done := JobRecord{ID: doneID, Spec: sweepSpec("web-search", 1), Key: "k1",
+		State: service.StateDone, Worker: "w0", Hash: "h1", Cached: true}
+	if err := s.PutJob(done); err != nil {
+		t.Fatal(err)
+	}
+	liveID := s.NextJobID()
+	live := JobRecord{ID: liveID, Spec: sweepSpec("web-search", 2), Key: "k1",
+		State: service.StateRunning, Worker: "w0", Local: "j7"}
+	if err := s.PutJob(live); err != nil {
+		t.Fatal(err)
+	}
+
+	bid := s.NextBatchID()
+	b := BatchRecord{ID: bid, Specs: []service.JobSpec{sweepSpec("web-search", 2), sweepSpec("web-search", 3)}, Jobs: make([]string, 2)}
+	if err := s.PutBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetBatchJob(bid, 0, liveID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	got, ok := s2.Job(doneID)
+	if !ok || got.State != service.StateDone || got.Hash != "h1" || !got.Cached || got.Worker != "w0" {
+		t.Fatalf("terminal job after reopen: ok=%v %+v", ok, got)
+	}
+	got, ok = s2.Job(liveID)
+	if !ok || got.State != service.StateRunning || got.Local != "j7" {
+		t.Fatalf("in-flight job after reopen: ok=%v %+v", ok, got)
+	}
+	gb, ok := s2.Batch(bid)
+	if !ok || len(gb.Specs) != 2 || gb.Jobs[0] != liveID || gb.Jobs[1] != "" {
+		t.Fatalf("batch after reopen: ok=%v %+v", ok, gb)
+	}
+	fleet := s2.FleetWorkers()
+	if len(fleet) != 1 || fleet[0].ID != "w0" || fleet[0].Lifecycle != LifecycleDraining {
+		t.Fatalf("fleet after reopen: %+v", fleet)
+	}
+
+	// The counters resume past every persisted ID — no collisions with
+	// pre-crash jobs.
+	if next := s2.NextJobID(); next != "c00000003" {
+		t.Fatalf("job counter resumed at %s, want c00000003", next)
+	}
+	if next := s2.NextBatchID(); next != "b00000002" {
+		t.Fatalf("batch counter resumed at %s, want b00000002", next)
+	}
+
+	st := s2.Stats()
+	if !st.Durable || st.ReplayedJobs != 2 || st.RecoveredJobs != 1 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+	if st.WAL.Replayed == 0 {
+		t.Fatal("reopen replayed no WAL records")
+	}
+}
+
+// TestStoreMemoryOnly: with no directory the store keeps identical
+// semantics, just without durability.
+func TestStoreMemoryOnly(t *testing.T) {
+	s, err := OpenStore(StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := s.NextJobID()
+	if err := s.PutJob(JobRecord{ID: id, State: service.StateQueued}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Job(id); !ok {
+		t.Fatal("memory-only store lost a job")
+	}
+	if st := s.Stats(); st.Durable {
+		t.Fatal("memory-only store claims durability")
+	}
+}
+
+// TestStoreSetBatchJobConcurrent: concurrent point placements link into
+// the same batch record without losing each other's writes (the
+// read-modify-write is under the store lock).
+func TestStoreSetBatchJobConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	const n = 32
+	specs := make([]service.JobSpec, n)
+	for i := range specs {
+		specs[i] = sweepSpec("web-search", i)
+	}
+	bid := s.NextBatchID()
+	if err := s.PutBatch(BatchRecord{ID: bid, Specs: specs, Jobs: make([]string, n)}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := s.NextJobID()
+			if err := s.PutJob(JobRecord{ID: id, State: service.StateQueued, Batch: bid, Index: i}); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.SetBatchJob(bid, i, id); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s.Close()
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	b, ok := s2.Batch(bid)
+	if !ok {
+		t.Fatal("batch lost across reopen")
+	}
+	for i, jid := range b.Jobs {
+		if jid == "" {
+			t.Fatalf("point %d link lost", i)
+		}
+		j, okj := s2.Job(jid)
+		if !okj || j.Batch != bid || j.Index != i {
+			t.Fatalf("point %d links to %q: ok=%v %+v", i, jid, okj, j)
+		}
+	}
+}
+
+// TestStoreRetention: DropJobs removes only terminal solo jobs — live
+// jobs and points of still-tracked batches are immune — and DropBatch
+// takes a batch and its points out together. Both survive reopen.
+func TestStoreRetention(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	soloDone := JobRecord{ID: s.NextJobID(), State: service.StateDone}
+	soloLive := JobRecord{ID: s.NextJobID(), State: service.StateRunning}
+	bid := s.NextBatchID()
+	point := JobRecord{ID: s.NextJobID(), State: service.StateDone, Batch: bid, Index: 0}
+	for _, j := range []JobRecord{soloDone, soloLive, point} {
+		if err := s.PutJob(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutBatch(BatchRecord{ID: bid, Specs: []service.JobSpec{sweepSpec("web-search", 0)}, Jobs: []string{point.ID}}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.DropJobs([]string{soloDone.ID, soloLive.ID, point.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Job(soloDone.ID); ok {
+		t.Fatal("terminal solo job survived DropJobs")
+	}
+	if _, ok := s.Job(soloLive.ID); !ok {
+		t.Fatal("DropJobs removed a non-terminal job")
+	}
+	if _, ok := s.Job(point.ID); !ok {
+		t.Fatal("DropJobs removed a point of a live batch")
+	}
+
+	if err := s.DropBatch(bid); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Batch(bid); ok {
+		t.Fatal("batch survived DropBatch")
+	}
+	if _, ok := s.Job(point.ID); ok {
+		t.Fatal("batch point survived DropBatch")
+	}
+	s.Close()
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	if _, ok := s2.Job(soloDone.ID); ok {
+		t.Fatal("dropped job resurrected by replay")
+	}
+	if _, ok := s2.Batch(bid); ok {
+		t.Fatal("dropped batch resurrected by replay")
+	}
+	if _, ok := s2.Job(soloLive.ID); !ok {
+		t.Fatal("live job lost across reopen")
+	}
+}
+
+// TestStoreCompactionBoundsReplay: the checkpoint cadence keeps both the
+// on-disk segment count and the records replayed at the next open small,
+// no matter how many mutations the log has absorbed.
+func TestStoreCompactionBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{CompactEvery: 8, WAL: wal.Options{SegmentBytes: 4096}})
+	const n = 100
+	for i := 0; i < n; i++ {
+		id := s.NextJobID()
+		if err := s.PutJob(JobRecord{ID: id, Spec: sweepSpec("web-search", i), State: service.StateDone}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.WAL.Compactions == 0 {
+		t.Fatal("no compaction despite CompactEvery=8")
+	}
+	if st.WAL.Segments > 3 {
+		t.Fatalf("%d live segments after compaction", st.WAL.Segments)
+	}
+	s.Close()
+
+	s2 := openTestStore(t, dir, StoreOptions{CompactEvery: 8})
+	defer s2.Close()
+	if got := len(s2.Jobs()); got != n {
+		t.Fatalf("%d jobs after reopen, want %d", got, n)
+	}
+	// Replay work is bounded by the checkpoint: one checkpoint record
+	// plus at most CompactEvery tail records.
+	if r := s2.Stats().WAL.Replayed; r > 16 {
+		t.Fatalf("reopen replayed %d records; compaction is not bounding replay", r)
+	}
+}
+
+// TestStoreTornTailHealed: a torn final record (the classic crash during
+// append) is truncated away on open; every complete record survives.
+func TestStoreTornTailHealed(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, StoreOptions{})
+	ids := make([]string, 3)
+	for i := range ids {
+		ids[i] = s.NextJobID()
+		if err := s.PutJob(JobRecord{ID: ids[i], State: service.StateDone, Hash: fmt.Sprintf("h%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, dir, StoreOptions{})
+	defer s2.Close()
+	for _, id := range ids {
+		if _, ok := s2.Job(id); !ok {
+			t.Fatalf("complete record %s lost healing the torn tail", id)
+		}
+	}
+	if !s2.Stats().WAL.TornTail {
+		t.Fatal("torn tail not reported in stats")
+	}
+}

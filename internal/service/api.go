@@ -67,6 +67,37 @@ type HealthPayload struct {
 	// Uptime is seconds since this server started.
 	Uptime float64   `json:"uptime_s"`
 	Stats  PoolStats `json:"stats"`
+	// WAL reports a cluster coordinator's durability state (absent on
+	// plain workers).
+	WAL *WALStats `json:"wal,omitempty"`
+}
+
+// WALStats summarises a coordinator's write-ahead log and recovery
+// state for /v1/healthz.
+type WALStats struct {
+	// Durable is false for memory-only coordinators (no -data-dir).
+	Durable bool `json:"durable"`
+	// Segments/SizeBytes describe the live log files.
+	Segments  int   `json:"segments"`
+	SizeBytes int64 `json:"size_bytes"`
+	// ReplayedRecords/AppendedRecords count WAL records read at startup
+	// and written since.
+	ReplayedRecords uint64 `json:"replayed_records"`
+	AppendedRecords uint64 `json:"appended_records"`
+	// TornTailHealed reports that startup truncated a torn final record.
+	TornTailHealed bool `json:"torn_tail_healed,omitempty"`
+	// Compactions counts checkpoint compactions; LastCompaction is the
+	// RFC3339 time of the latest (empty when none).
+	Compactions    uint64 `json:"compactions"`
+	LastCompaction string `json:"last_compaction,omitempty"`
+	// ReplayedJobs is the job-record count recovered at startup;
+	// RecoveredJobs how many of those were still in flight and were
+	// re-driven.
+	ReplayedJobs  int `json:"replayed_jobs"`
+	RecoveredJobs int `json:"recovered_jobs"`
+	// TrackedJobs/TrackedBatches count currently retained records.
+	TrackedJobs    int `json:"tracked_jobs"`
+	TrackedBatches int `json:"tracked_batches"`
 }
 
 // NewHandler exposes a Pool over HTTP/JSON:

@@ -5,35 +5,25 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"bump/internal/chaos/faultserver"
 )
 
-// faultServer runs a fault-injecting handler. Handlers that hang
-// select on the returned stop channel, which the test closes before
-// the server shuts down (a client disconnect alone does not cancel the
-// request context while a request body sits unread).
-func faultServer(t *testing.T, h func(w http.ResponseWriter, r *http.Request, stop <-chan struct{})) *Client {
+// faultServer runs a fault-injecting handler (see
+// internal/chaos/faultserver, shared with the cluster tests) and
+// returns a fast-polling client pointed at it.
+func faultServer(t *testing.T, h faultserver.Handler) *Client {
 	t.Helper()
-	stop := make(chan struct{})
-	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		h(w, r, stop)
-	}))
-	t.Cleanup(srv.Close)
-	t.Cleanup(func() { close(stop) }) // LIFO: runs before srv.Close
-	c := NewClient(srv.URL)
+	c := NewClient(faultserver.New(t, h).URL)
 	c.PollInterval = 5 * time.Millisecond
 	return c
 }
 
 func TestClientNonJSONErrorBody(t *testing.T) {
-	c := faultServer(t, func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
-		w.Header().Set("Content-Type", "text/html")
-		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprint(w, "<html>proxy exploded</html>")
-	})
+	c := faultServer(t, faultserver.NonJSON500())
 	_, err := c.Job(context.Background(), "j1")
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) {
@@ -53,11 +43,7 @@ func TestClientNonJSONErrorBody(t *testing.T) {
 }
 
 func TestClientJSONErrorBody(t *testing.T) {
-	c := faultServer(t, func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusNotFound)
-		fmt.Fprint(w, `{"error":"no such job"}`)
-	})
+	c := faultServer(t, faultserver.JSONError(http.StatusNotFound, "no such job"))
 	_, err := c.Job(context.Background(), "j1")
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Code != 404 || apiErr.Message != "no such job" {
@@ -69,9 +55,7 @@ func TestClientJSONErrorBody(t *testing.T) {
 }
 
 func TestClientGarbage200Body(t *testing.T) {
-	c := faultServer(t, func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
-		fmt.Fprint(w, "these are not the bytes you are looking for")
-	})
+	c := faultServer(t, faultserver.Garbage200())
 	if _, err := c.Job(context.Background(), "j1"); err == nil || !strings.Contains(err.Error(), "decode") {
 		t.Fatalf("garbage 200 body must fail decoding, got %v", err)
 	}
@@ -81,12 +65,7 @@ func TestClientGarbage200Body(t *testing.T) {
 // not block calls past RequestTimeout — the bug that used to wedge
 // Wait forever against a hung worker.
 func TestClientHungServer(t *testing.T) {
-	c := faultServer(t, func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
-		select { // hang until the client gives up or the test ends
-		case <-r.Context().Done():
-		case <-stop:
-		}
-	})
+	c := faultServer(t, faultserver.Hung())
 	c.RequestTimeout = 50 * time.Millisecond
 
 	for name, call := range map[string]func() error{
@@ -142,22 +121,7 @@ func TestClientWaitCanceledBetweenPolls(t *testing.T) {
 // abandoned cleanly when the caller's context expires, delivering the
 // events received so far.
 func TestClientSlowSSE(t *testing.T) {
-	c := faultServer(t, func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
-		fl := w.(http.Flusher)
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.WriteHeader(http.StatusOK)
-		for i := 0; ; i++ {
-			select {
-			case <-r.Context().Done():
-				return
-			case <-stop:
-				return
-			case <-time.After(20 * time.Millisecond):
-			}
-			fmt.Fprintf(w, "event: progress\ndata: {\"Cycle\":%d}\n\n", i)
-			fl.Flush()
-		}
-	})
+	c := faultServer(t, faultserver.SlowSSE(20*time.Millisecond))
 	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()
 	var got int
@@ -179,12 +143,7 @@ func TestClientSlowSSE(t *testing.T) {
 // headers is bounded by RequestTimeout even though streams have no
 // overall deadline.
 func TestClientSSEConnectTimeout(t *testing.T) {
-	c := faultServer(t, func(w http.ResponseWriter, r *http.Request, stop <-chan struct{}) {
-		select {
-		case <-r.Context().Done():
-		case <-stop:
-		}
-	})
+	c := faultServer(t, faultserver.Hung())
 	c.RequestTimeout = 50 * time.Millisecond
 	start := time.Now()
 	err := c.Events(context.Background(), "j1", func(Event) error { return nil })

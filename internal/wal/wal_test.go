@@ -1,0 +1,222 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openCollect(t *testing.T, dir string, opts Options) (*Log, [][]byte) {
+	t.Helper()
+	var recs [][]byte
+	l, err := Open(dir, opts, func(rec []byte) error {
+		recs = append(recs, append([]byte(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, recs
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	want := [][]byte{[]byte("one"), []byte(""), []byte("three-3"), make([]byte, 4096)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Appended != uint64(len(want)) || st.Segments != 1 {
+		t.Fatalf("stats after append: %+v", st)
+	}
+	l.Close()
+
+	_, got := openCollect(t, dir, Options{})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 256, NoSync: true})
+	rec := make([]byte, 100)
+	for i := 0; i < 10; i++ {
+		rec[0] = byte(i)
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 3 {
+		t.Fatalf("no rotation: %+v", st)
+	}
+	l.Close()
+	_, got := openCollect(t, dir, Options{SegmentBytes: 256})
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records across segments, want 10", len(got))
+	}
+	for i, r := range got {
+		if r[0] != byte(i) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+}
+
+func TestWALCompactDeletesOldSegmentsAndResets(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 128, NoSync: true})
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]byte(fmt.Sprintf("pre-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Compact([]byte("checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Segments != 1 && st.Segments != 2 {
+		t.Fatalf("compaction left %d segments", st.Segments)
+	}
+	if st.Compactions != 1 || st.LastCompaction.IsZero() {
+		t.Fatalf("compaction stats: %+v", st)
+	}
+	l.Close()
+
+	files, _ := os.ReadDir(dir)
+	if len(files) > 2 {
+		t.Fatalf("%d segment files survive compaction", len(files))
+	}
+	_, got := openCollect(t, dir, Options{})
+	if len(got) != 2 || string(got[0]) != "checkpoint" || string(got[1]) != "post" {
+		t.Fatalf("post-compaction replay: %q", got)
+	}
+}
+
+// TestWALTornTailRecovery pins the acceptance criterion: a torn or
+// truncated tail recovers to the last complete record, and the healed
+// log accepts new appends that survive another reopen.
+func TestWALTornTailRecovery(t *testing.T) {
+	cuts := []struct {
+		name string
+		cut  func(data []byte) []byte
+	}{
+		{"mid-frame", func(d []byte) []byte { return d[:len(d)-3] }},
+		{"mid-body", func(d []byte) []byte { return d[:len(d)-10] }},
+		{"frame-only", func(d []byte) []byte { return d[:len(d)-20] }},
+		{"corrupt-crc", func(d []byte) []byte { d[len(d)-1] ^= 0xFF; return d }},
+	}
+	for _, tc := range cuts {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openCollect(t, dir, Options{})
+			for i := 0; i < 3; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("rec-%d-padding-padding", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+			path := filepath.Join(dir, segName(1))
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.cut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, got := openCollect(t, dir, Options{})
+			if len(got) != 2 {
+				t.Fatalf("replayed %d records after torn tail, want the 2 complete ones", len(got))
+			}
+			if !l2.Stats().TornTail {
+				t.Fatal("healed log does not report its torn tail")
+			}
+			if err := l2.Append([]byte("after-heal")); err != nil {
+				t.Fatal(err)
+			}
+			l2.Close()
+			_, again := openCollect(t, dir, Options{})
+			if len(again) != 3 || string(again[2]) != "after-heal" {
+				t.Fatalf("append after heal lost: %q", again)
+			}
+		})
+	}
+}
+
+// TestWALCorruptionBeforeTailIsFatal: damage that is not a tail artifact
+// is data loss and must error, not silently truncate.
+func TestWALCorruptionBeforeTailIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{SegmentBytes: 64, NoSync: true})
+	for i := 0; i < 8; i++ {
+		if err := l.Append(make([]byte, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Corrupt the first (non-final) segment's record body.
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+	if _, err := Open(dir, Options{}, nil); err == nil {
+		t.Fatal("corruption in a non-final segment must be fatal")
+	}
+}
+
+func TestWALRejectsForeignFormat(t *testing.T) {
+	for name, mutate := range map[string]func([]byte){
+		"bad-magic":   func(h []byte) { h[0] = 'X' },
+		"bad-version": func(h []byte) { binary.LittleEndian.PutUint16(h[len(magic):], FormatVersion+1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			hdr := make([]byte, headerLen)
+			copy(hdr, magic)
+			binary.LittleEndian.PutUint16(hdr[len(magic):], FormatVersion)
+			mutate(hdr)
+			os.WriteFile(filepath.Join(dir, segName(1)), hdr, 0o644)
+			if _, err := Open(dir, Options{}, nil); err == nil {
+				t.Fatal("foreign header must be rejected")
+			}
+		})
+	}
+}
+
+// TestWALLyingLengthPrefix: a length field claiming more bytes than the
+// file holds is a torn tail (bounded by real file size), never an
+// allocation amplifier or a panic.
+func TestWALLyingLengthPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openCollect(t, dir, Options{})
+	l.Append([]byte("good"))
+	l.Close()
+	path := filepath.Join(dir, segName(1))
+	frame := make([]byte, frameLen)
+	binary.LittleEndian.PutUint32(frame, 1<<31) // 2GB claim
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(nil))
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write(frame)
+	f.Close()
+	_, got := openCollect(t, dir, Options{})
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("lying length prefix: replayed %q", got)
+	}
+}
