@@ -49,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -57,7 +58,9 @@ import (
 	"time"
 
 	"bump/internal/cluster"
+	"bump/internal/service"
 	"bump/internal/wal"
+	"bump/internal/wire"
 )
 
 func main() {
@@ -77,6 +80,8 @@ func main() {
 		compactN  = flag.Uint64("compact-every", 0, "WAL appends between checkpoint compactions (0 = 512 default)")
 		retainJ   = flag.Int("retain-jobs", 0, "terminal solo-job records retained for status queries (0 = 4096 default)")
 		retainB   = flag.Int("retain-batches", 0, "completed sweeps retained with their points (0 = 64 default)")
+		wireAddr  = flag.String("wire-addr", ":8346", "binary wire protocol listen address (empty = HTTP/JSON only)")
+		jsonOnly  = flag.Bool("json-only", false, "talk HTTP/JSON to workers even when they advertise a wire listener")
 	)
 	flag.Func("worker", "bumpd worker base URL (repeatable)", func(url string) error {
 		workerURLs = append(workerURLs, url)
@@ -98,6 +103,7 @@ func main() {
 			BackoffBase:    *backoff,
 			BackoffMax:     *backoffMx,
 			RequestTimeout: *reqTO,
+			DisableWire:    *jsonOnly,
 		},
 		DataDir:       *dataDir,
 		WAL:           wal.Options{SegmentBytes: *segBytes, NoSync: *noSync},
@@ -117,6 +123,25 @@ func main() {
 		h := coord.Health()
 		log.Printf("bumpctl: durable state in %s (replayed %d records, %d jobs; %d in-flight jobs recovered)",
 			*dataDir, h.WAL.ReplayedRecords, h.WAL.ReplayedJobs, h.WAL.RecoveredJobs)
+	}
+
+	// Binary wire listener: the coordinator serves the same hot surface
+	// (submit, status, watch, result, batch) over persistent framed
+	// connections; clients discover it via /v1/healthz wire_addr.
+	var wireSrv *wire.Server
+	if *wireAddr != "" {
+		l, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("bumpctl: wire listen: %v", err)
+		}
+		wireSrv = wire.Serve(l, service.NewWireHandler(coord))
+		flagHost, _, herr := net.SplitHostPort(*wireAddr)
+		if herr != nil {
+			flagHost = ""
+		}
+		_, boundPort, _ := net.SplitHostPort(l.Addr().String())
+		coord.SetWireAddr(net.JoinHostPort(flagHost, boundPort))
+		log.Printf("bumpctl: wire protocol on %s", l.Addr())
 	}
 
 	srv := &http.Server{
@@ -147,6 +172,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("bumpctl: shutdown: %v", err)
+	}
+	if wireSrv != nil {
+		wireSrv.Close()
 	}
 	coord.Close()
 	log.Printf("bumpctl: stopped")

@@ -38,15 +38,19 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"bump/internal/blob"
 	"bump/internal/scenario"
 	"bump/internal/service"
+	"bump/internal/sim"
 	"bump/internal/snapshot"
+	"bump/internal/wire"
 )
 
 func main() {
@@ -60,6 +64,9 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		warm     = flag.Bool("warm", false, "share warmup-end checkpoints between jobs that differ only in measured parameters")
 		warmSz   = flag.Int("warm-cache", 16, "warm-checkpoint cache entries (with -warm)")
+		warmDir  = flag.String("warm-dir", "", "content-addressed checkpoint store directory (implies -warm; checkpoints survive restarts and transfer to peers)")
+		warmDisk = flag.Int64("warm-disk-bytes", blob.DefaultCapacity, "checkpoint store size bound in bytes (with -warm-dir)")
+		wireAddr = flag.String("wire-addr", ":8345", "binary wire protocol listen address (empty = HTTP/JSON only)")
 		coord    = flag.String("coordinator", "", "bumpctl base URL to heartbeat-register with (self-registration; no static -workers entry needed)")
 		adv      = flag.String("advertise", "", "base URL the coordinator reaches this worker at (required with -coordinator)")
 		beat     = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval (with -coordinator)")
@@ -77,6 +84,18 @@ func main() {
 	})
 	flag.Parse()
 
+	var warmBackend sim.WarmBackend
+	var blobStore *blob.Store
+	if *warmDir != "" {
+		bs, err := blob.Open(*warmDir, *warmDisk)
+		if err != nil {
+			log.Fatalf("bumpd: open checkpoint store: %v", err)
+		}
+		blobStore = bs
+		warmBackend = bs
+		st := bs.Stats()
+		log.Printf("bumpd: checkpoint store %s (%d blobs, %d bytes, cap %d)", *warmDir, st.Blobs, st.Bytes, st.Capacity)
+	}
 	pool := service.NewPool(service.Options{
 		Workers:          *workers,
 		CacheEntries:     *cacheSz,
@@ -85,10 +104,32 @@ func main() {
 		ProgressInterval: *interval,
 		WarmStarts:       *warm,
 		WarmEntries:      *warmSz,
+		WarmBackend:      warmBackend,
 	})
+
+	// Binary wire listener: the advertised address keeps the flag's host
+	// (may be empty — clients fill it from the worker's base URL) with
+	// the port the listener actually bound (":0" resolves here).
+	var wireSrv *wire.Server
+	advertisedWire := ""
+	if *wireAddr != "" {
+		l, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("bumpd: wire listen: %v", err)
+		}
+		wireSrv = wire.Serve(l, service.NewWireHandler(service.NewPoolWireBackend(pool)))
+		flagHost, _, err := net.SplitHostPort(*wireAddr)
+		if err != nil {
+			flagHost = ""
+		}
+		_, boundPort, _ := net.SplitHostPort(l.Addr().String())
+		advertisedWire = net.JoinHostPort(flagHost, boundPort)
+		log.Printf("bumpd: wire protocol on %s (advertised %q)", l.Addr(), advertisedWire)
+	}
+
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     logRequests(service.NewHandler(pool)),
+		Handler:     logRequests(service.NewHandlerInfo(pool, service.ServerInfo{WireAddr: advertisedWire})),
 		ReadTimeout: 30 * time.Second,
 		// No WriteTimeout: SSE streams stay open for a job's lifetime;
 		// the per-job timeout bounds them instead.
@@ -112,8 +153,18 @@ func main() {
 		}
 		go func() {
 			registered := false
-			service.NewClient(*coord).Heartbeat(beatCtx,
-				service.RegisterRequest{URL: *adv, Version: snapshot.FormatVersion},
+			// The heartbeat re-reads warm keys every beat, so freshly
+			// simulated or transferred checkpoints are advertised to the
+			// coordinator within one interval.
+			service.NewClient(*coord).HeartbeatFunc(beatCtx,
+				func() service.RegisterRequest {
+					return service.RegisterRequest{
+						URL:         *adv,
+						Version:     snapshot.FormatVersion,
+						WireAddr:    advertisedWire,
+						Checkpoints: pool.WarmKeys(),
+					}
+				},
 				*beat,
 				func(resp service.RegisterResponse, err error) {
 					switch {
@@ -145,7 +196,13 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("bumpd: shutdown: %v", err)
 	}
+	if wireSrv != nil {
+		wireSrv.Close()
+	}
 	pool.Close()
+	if blobStore != nil {
+		blobStore.Close()
+	}
 	log.Printf("bumpd: stopped")
 }
 

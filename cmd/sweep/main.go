@@ -156,6 +156,7 @@ func main() {
 		measure      = flag.Uint64("measure", 1_500_000, "measurement cycles")
 		server       = flag.String("server", "", "bumpd/bumpctl base URL, or a comma-separated bumpd worker list to coordinate in-process; empty runs fully in-process")
 		warm         = flag.Bool("warm", false, "share warmup-end checkpoints between in-process sweep points that differ only in measured parameters")
+		jsonOnly     = flag.Bool("json-only", false, "talk HTTP/JSON to -server even when it advertises a binary wire listener")
 	)
 	flag.Parse()
 
@@ -171,7 +172,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sweep: -warm applies to in-process runs; enable warm starts on each worker with bumpd -warm")
 		}
 		var err error
-		coord, err = cluster.New(context.Background(), cluster.Options{Workers: strings.Split(*server, ",")})
+		coord, err = cluster.New(context.Background(), cluster.Options{
+			Workers:  strings.Split(*server, ","),
+			Registry: cluster.RegistryOptions{DisableWire: *jsonOnly},
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -184,7 +188,9 @@ func main() {
 		if *warm {
 			fmt.Fprintln(os.Stderr, "sweep: -warm applies to in-process runs; enable warm starts on bumpd with its -warm flag")
 		}
-		run = remoteRunner{client: service.NewClient(*server)}
+		cl := service.NewClient(*server)
+		cl.DisableWire = *jsonOnly
+		run = remoteRunner{client: cl}
 	default:
 		pool = service.NewPool(service.Options{WarmStarts: *warm})
 		defer pool.Close()

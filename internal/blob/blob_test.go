@@ -1,0 +1,253 @@
+package blob
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// key returns a valid 64-hex digest deterministically derived from i.
+func key(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func mustOpen(t *testing.T, dir string, max int64) *Store {
+	t.Helper()
+	s, err := Open(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	data := []byte("checkpoint bytes")
+	if err := s.Put(key(0), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(0), data); err != nil {
+		t.Fatal(err) // idempotent re-put
+	}
+	got, ok := s.Get(key(0))
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("get: ok=%v %q", ok, got)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("missing key reported present")
+	}
+	if err := s.Put("../escape", data); err == nil {
+		t.Fatal("path-metacharacter key accepted")
+	}
+	st := s.Stats()
+	if st.Blobs != 1 || st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestFetchSingleFlight: concurrent fetches of the same missing digest
+// run the fill exactly once; everyone gets the same bytes.
+func TestFetchSingleFlight(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	var fills atomic.Int64
+	gate := make(chan struct{})
+	data := []byte("filled once")
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	got := make([][]byte, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = s.Fetch(key(0), func() ([]byte, error) {
+				fills.Add(1)
+				<-gate // hold the leader so everyone else piles up
+				return data, nil
+			})
+		}(i)
+	}
+	// Let waiters accumulate on the in-flight fill, then release it.
+	for s.Stats().FillsCoalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := fills.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1 (single-flight)", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || !bytes.Equal(got[i], data) {
+			t.Fatalf("caller %d: %v %q", i, errs[i], got[i])
+		}
+	}
+}
+
+// TestFetchLeaderFailureHandsOver: a failed fill doesn't poison the
+// key — the error goes to the leader, and a later fetch fills fresh.
+func TestFetchLeaderFailureHandsOver(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 1<<20)
+	if _, err := s.Fetch(key(0), func() ([]byte, error) {
+		return nil, fmt.Errorf("source unreachable")
+	}); err == nil {
+		t.Fatal("fill failure swallowed")
+	}
+	data := []byte("second try")
+	got, err := s.Fetch(key(0), func() ([]byte, error) { return data, nil })
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("retry fetch: %v %q", err, got)
+	}
+}
+
+// TestEvictionSparesStreamingReader: evicting a blob mid-transfer must
+// not yank the file out from under the open reader — the blob goes
+// logically dead immediately but its bytes stream to completion, and
+// the file is deleted only on Close.
+func TestEvictionSparesStreamingReader(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 100)
+	big := bytes.Repeat([]byte{0xAA}, 80)
+	if err := s.Put(key(0), big); err != nil {
+		t.Fatal(err)
+	}
+
+	rc, size, ok := s.Open(key(0))
+	if !ok || size != int64(len(big)) {
+		t.Fatalf("open: ok=%v size=%d", ok, size)
+	}
+	// Read half, then force an eviction of key(0) by exceeding the
+	// budget with a newer blob.
+	half := make([]byte, 40)
+	if _, err := io.ReadFull(rc, half); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key(1), bytes.Repeat([]byte{0xBB}, 60)); err != nil {
+		t.Fatal(err)
+	}
+
+	// key(0) is logically gone (miss for new readers, off the budget)...
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("evicted blob still served to new readers")
+	}
+	if st := s.Stats(); st.Bytes > 100 || st.Evictions == 0 {
+		t.Fatalf("budget not reclaimed under streaming reader: %+v", st)
+	}
+	// ...but the in-flight stream completes with intact bytes.
+	rest, err := io.ReadAll(rc)
+	if err != nil || !bytes.Equal(append(half, rest...), big) {
+		t.Fatalf("stream corrupted by eviction: %v (%d bytes)", err, len(rest))
+	}
+	if _, err := os.Stat(filepath.Join(dir, key(0))); err != nil {
+		t.Fatal("blob file deleted while a reader held it")
+	}
+	if err := rc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key(0))); !os.IsNotExist(err) {
+		t.Fatalf("deferred delete did not run on Close: %v", err)
+	}
+}
+
+// TestReopenRebuildsIndex: a restart re-indexes the directory — every
+// live blob is served again, torn temp files are swept, and the LRU
+// budget still holds.
+func TestReopenRebuildsIndex(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 1<<20)
+	blobs := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		blobs[key(i)] = bytes.Repeat([]byte{byte(i)}, 100+i)
+		if err := s.Put(key(i), blobs[key(i)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	// A torn temp file and a stray non-digest file from a crash.
+	os.WriteFile(filepath.Join(dir, "tmp-123456"), []byte("torn"), 0o644)
+	os.WriteFile(filepath.Join(dir, "not-a-digest"), []byte("stray"), 0o644)
+
+	s2 := mustOpen(t, dir, 1<<20)
+	keys := s2.Keys()
+	if len(keys) != 5 {
+		t.Fatalf("reopened index has %d blobs, want 5 (%v)", len(keys), keys)
+	}
+	for k, want := range blobs {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("blob %s after reopen: ok=%v", k, ok)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "tmp-123456")); !os.IsNotExist(err) {
+		t.Fatal("torn temp file not swept on reopen")
+	}
+
+	// Reopen under a tighter budget: the index must evict down to fit.
+	s2.Close()
+	s3 := mustOpen(t, dir, 250)
+	if st := s3.Stats(); st.Bytes > 250 || st.Blobs >= 5 {
+		t.Fatalf("reopen did not enforce the budget: %+v", st)
+	}
+	for _, k := range s3.Keys() {
+		if got, ok := s3.Get(k); !ok || !bytes.Equal(got, blobs[k]) {
+			t.Fatalf("surviving blob %s unreadable after budget reopen", k)
+		}
+	}
+}
+
+// TestLRUEvictionOrder: the coldest blob goes first; touching a blob
+// with Get refreshes it.
+func TestLRUEvictionOrder(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 250)
+	for i := 0; i < 2; i++ {
+		if err := s.Put(key(i), bytes.Repeat([]byte{1}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get(key(0)) // key(0) is now warmer than key(1)
+	if err := s.Put(key(2), bytes.Repeat([]byte{2}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Fatal("cold blob survived eviction")
+	}
+	for _, k := range []string{key(0), key(2)} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("warm blob %s evicted", k)
+		}
+	}
+}
+
+// TestConcurrentPutGetChurn hammers overlapping keys under the race
+// detector; invariants (budget, no panics, served bytes intact) hold.
+func TestConcurrentPutGetChurn(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 2_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := key(i % 10)
+				want := strings.Repeat("x", 100+i%10)
+				s.Put(k, []byte(want))
+				if got, ok := s.Get(k); ok && len(got) != len(want) {
+					t.Errorf("blob %s: %d bytes, want %d", k, len(got), len(want))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Bytes > 2_000 {
+		t.Fatalf("budget exceeded: %+v", st)
+	}
+}

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// TCPProxy forwards raw TCP to a target address — the binary wire
+// protocol's equivalent of Proxy. Drop(true) closes every live
+// connection and refuses new ones, so a pooled wire client sees its
+// persistent connections die mid-stream, not a polite error frame.
+type TCPProxy struct {
+	l      net.Listener
+	target string
+
+	mu    sync.Mutex
+	drop  bool
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// NewTCPProxy starts a TCP proxy in front of target ("host:port").
+func NewTCPProxy(t testing.TB, target string) *TCPProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("chaos: tcp proxy listen: %v", err)
+	}
+	p := &TCPProxy{l: l, target: target, conns: make(map[net.Conn]struct{})}
+	go p.accept()
+	t.Cleanup(p.Close)
+	return p
+}
+
+// Addr is the proxy's front address — dial this instead of the target.
+func (p *TCPProxy) Addr() string { return p.l.Addr().String() }
+
+// Drop cuts (true) or restores (false) the link. Cutting severs every
+// live proxied connection immediately.
+func (p *TCPProxy) Drop(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drop = on
+	if on {
+		for c := range p.conns {
+			c.Close()
+		}
+		clear(p.conns)
+	}
+}
+
+// Close stops the proxy and severs everything.
+func (p *TCPProxy) Close() {
+	p.mu.Lock()
+	if p.done {
+		p.mu.Unlock()
+		return
+	}
+	p.done = true
+	for c := range p.conns {
+		c.Close()
+	}
+	clear(p.conns)
+	p.mu.Unlock()
+	p.l.Close()
+}
+
+func (p *TCPProxy) accept() {
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.drop || p.done {
+			p.mu.Unlock()
+			client.Close()
+			continue
+		}
+		p.mu.Unlock()
+		backend, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.track(client, backend)
+		go p.pipe(client, backend)
+		go p.pipe(backend, client)
+	}
+}
+
+func (p *TCPProxy) track(conns ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.drop || p.done {
+		for _, c := range conns {
+			c.Close()
+		}
+		return
+	}
+	for _, c := range conns {
+		p.conns[c] = struct{}{}
+	}
+}
+
+func (p *TCPProxy) pipe(dst, src net.Conn) {
+	io.Copy(dst, src)
+	dst.Close()
+	src.Close()
+	p.mu.Lock()
+	delete(p.conns, dst)
+	delete(p.conns, src)
+	p.mu.Unlock()
+}

@@ -431,3 +431,68 @@ func TestChaosFleetToleratesFaultyWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosWireSeverFallsBackToJSON cuts the binary wire link between a
+// client and its worker while a job is in flight: every pooled wire
+// connection dies and new dials are refused. The client must fall back
+// to HTTP/JSON transparently — the job is not lost, polling completes
+// it, and the cached result stays reachable.
+func TestChaosWireSeverFallsBackToJSON(t *testing.T) {
+	w := newWireFleet(t, 1, service.Options{Workers: 1, WarmStarts: true})[0]
+	proxy := chaos.NewTCPProxy(t, w.wire.Addr().String())
+
+	client := service.NewClient(w.srv.URL)
+	client.WireAddr = proxy.Addr() // pin the faultable front, skip negotiation
+	client.PollInterval = 10 * time.Millisecond
+	t.Cleanup(func() { client.Close() })
+
+	spec := sweepSpec("web-search", 0)
+	spec.MeasureCycles = 2_000_000 // long enough to outlive the sever
+	st, err := client.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := client.WireStats(); ws.Calls == 0 {
+		t.Fatalf("submit did not use the wire path: %+v", ws)
+	}
+
+	// Sever: close the live pooled connections and refuse new ones.
+	proxy.Drop(true)
+
+	fin, err := client.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatalf("wait across a severed wire link: %v", err)
+	}
+	if fin.State != service.StateDone || fin.Result == nil {
+		t.Fatalf("job lost after wire sever: %s (%s)", fin.State, fin.Error)
+	}
+	ws := client.WireStats()
+	if ws.Fallbacks == 0 {
+		t.Errorf("severed wire link never fell back to JSON: %+v", ws)
+	}
+
+	// The result is still served (over JSON) by hash.
+	res, ok, err := client.ResultByHash(context.Background(), fin.Hash)
+	if err != nil || !ok {
+		t.Fatalf("ResultByHash after sever: ok=%v err=%v", ok, err)
+	}
+	if resultJSON(t, res) != resultJSON(t, *fin.Result) {
+		t.Error("post-sever hash lookup diverges from the job result")
+	}
+
+	// Restore the link: the client recovers the wire path after its
+	// retry window instead of staying demoted forever.
+	proxy.Drop(false)
+	callsBefore := client.WireStats().Calls
+	deadline := time.After(10 * time.Second)
+	for client.WireStats().Calls == callsBefore {
+		if _, err := client.Job(context.Background(), st.ID); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("client never re-negotiated onto the restored wire link")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

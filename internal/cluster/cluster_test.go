@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,13 +13,15 @@ import (
 
 	"bump/internal/service"
 	"bump/internal/sim"
+	"bump/internal/wire"
 )
 
 // testWorker is one in-process bumpd: a real warm-started pool behind a
-// real HTTP server.
+// real HTTP server, optionally with a binary wire listener.
 type testWorker struct {
 	pool *service.Pool
 	srv  *httptest.Server
+	wire *wire.Server // nil unless built by newWireFleet
 }
 
 func newTestFleet(t *testing.T, n int, opts service.Options) []*testWorker {
@@ -35,6 +38,35 @@ func newTestFleet(t *testing.T, n int, opts service.Options) []*testWorker {
 			p.Close()
 		})
 		fleet[i] = &testWorker{pool: p, srv: srv}
+	}
+	return fleet
+}
+
+// newWireFleet builds workers that also serve the binary wire protocol
+// and advertise its address in /v1/healthz, so coordinator worker
+// clients negotiate onto it. Kept separate from newTestFleet: the chaos
+// tests proxy worker HTTP traffic and must not be silently bypassed by
+// a negotiated side channel.
+func newWireFleet(t *testing.T, n int, opts service.Options) []*testWorker {
+	t.Helper()
+	if opts.ProgressInterval == 0 {
+		opts.ProgressInterval = 5_000
+	}
+	fleet := make([]*testWorker, n)
+	for i := range fleet {
+		p := service.NewPool(opts)
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := wire.Serve(l, service.NewWireHandler(service.NewPoolWireBackend(p)))
+		srv := httptest.NewServer(service.NewHandlerInfo(p, service.ServerInfo{WireAddr: l.Addr().String()}))
+		t.Cleanup(func() {
+			srv.Close()
+			ws.Close()
+			p.Close()
+		})
+		fleet[i] = &testWorker{pool: p, srv: srv, wire: ws}
 	}
 	return fleet
 }
@@ -259,6 +291,24 @@ func TestClusterE2EFailoverMidSweep(t *testing.T) {
 		case <-time.After(time.Millisecond):
 		}
 	}
+
+	// The owner's completed warmup published a checkpoint it now
+	// advertises in healthz. Drive probe + replication rounds until a
+	// peer holds a copy, so the failover placement restores the warmup
+	// instead of re-simulating it.
+	repDeadline := time.After(10 * time.Second)
+	for len(coord.Registry().HoldersOf(key, ownerID)) == 0 {
+		coord.Registry().ProbeOnce(context.Background())
+		coord.ReplicateOnce(context.Background())
+		select {
+		case <-repDeadline:
+			t.Fatal("checkpoint never replicated off the owner")
+		case <-done:
+			t.Fatal("sweep finished before replication — enlarge the specs")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
 	owner.srv.CloseClientConnections()
 	owner.srv.Close()
 
@@ -287,6 +337,24 @@ func TestClusterE2EFailoverMidSweep(t *testing.T) {
 			t.Fatal("killed worker still admitted")
 		case <-time.After(5 * time.Millisecond):
 		}
+	}
+
+	// Checkpoint transfer made the failover warm: the surviving workers
+	// restored the replicated checkpoint instead of re-simulating the
+	// warmup — zero warmup cycles simulated anywhere but the owner.
+	var installed uint64
+	for i, w := range fleet {
+		if w == owner {
+			continue
+		}
+		st := w.pool.Stats()
+		if st.Warm.WarmupCyclesSimulated != 0 {
+			t.Errorf("worker %d re-simulated %d warmup cycles despite a transferred checkpoint", i, st.Warm.WarmupCyclesSimulated)
+		}
+		installed += st.Warm.Installed
+	}
+	if installed == 0 {
+		t.Error("no worker installed a transferred checkpoint")
 	}
 
 	// Results are still byte-identical to the single-node path.
@@ -457,5 +525,106 @@ func TestClusterBatchHTTP(t *testing.T) {
 	}
 	if execs == 0 {
 		t.Error("topology carries no per-worker execution stats")
+	}
+}
+
+// TestClusterE2ECrossProtocolSweep runs the same sweep through the
+// coordinator over both protocols — HTTP/JSON (wire disabled) and the
+// negotiated binary wire path — and requires the results to be
+// byte-identical to each other and to the single-node reference. The
+// coordinator's own worker hops must negotiate onto wire too.
+func TestClusterE2ECrossProtocolSweep(t *testing.T) {
+	fleet := newWireFleet(t, 3, service.Options{Workers: 2, WarmStarts: true})
+	coord := newTestCoordinator(t, fleet)
+	front := httptest.NewServer(coord.Handler())
+	t.Cleanup(front.Close)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireSrv := wire.Serve(l, service.NewWireHandler(coord))
+	t.Cleanup(wireSrv.Close)
+	coord.SetWireAddr(l.Addr().String())
+
+	groups := []string{"web-search", "media-streaming"}
+	const perGroup = 4
+	var specs []service.JobSpec
+	for _, wl := range groups {
+		for streak := 0; streak < perGroup; streak++ {
+			specs = append(specs, sweepSpec(wl, streak))
+		}
+	}
+
+	jsonClient := service.NewClient(front.URL)
+	jsonClient.DisableWire = true
+	jsonClient.PollInterval = 10 * time.Millisecond
+	wireClient := service.NewClient(front.URL)
+	wireClient.PollInterval = 10 * time.Millisecond
+	t.Cleanup(func() { jsonClient.Close(); wireClient.Close() })
+
+	jres, err := jsonClient.Batch(context.Background(), service.BatchSpec{Specs: specs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := wireClient.Batch(context.Background(), service.BatchSpec{Specs: specs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jres.Failed != 0 || wres.Failed != 0 {
+		t.Fatalf("failed points: json=%d wire=%d", jres.Failed, wres.Failed)
+	}
+	if ws := wireClient.WireStats(); ws.Calls == 0 {
+		t.Fatalf("wire client never used the binary path: %+v", ws)
+	}
+	if js := jsonClient.WireStats(); js.Calls != 0 {
+		t.Fatalf("DisableWire client made %d wire calls", js.Calls)
+	}
+
+	// Coordinator→worker hops negotiated onto wire (workers advertise it
+	// in healthz, DisableWire was not set on the registry).
+	var workerWire uint64
+	for _, wk := range coord.Registry().Workers() {
+		workerWire += wk.Client.WireStats().Calls
+	}
+	if workerWire == 0 {
+		t.Error("coordinator worker clients never negotiated onto the wire path")
+	}
+
+	// Byte-identity: wire == JSON == single-node, point for point.
+	ref := singleNodeReference(t, specs)
+	for i := range specs {
+		j := resultJSON(t, *jres.Points[i].Status.Result)
+		w := resultJSON(t, *wres.Points[i].Status.Result)
+		if j != ref[i] {
+			t.Errorf("point %d: JSON path diverges from single-node", i)
+		}
+		if w != j {
+			t.Errorf("point %d: wire path diverges from JSON path", i)
+		}
+	}
+
+	// Single-job round trip over wire: submit, poll, result-by-hash all
+	// match the JSON view of the same job.
+	st, err := wireClient.Submit(context.Background(), sweepSpec("web-search", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := wireClient.Wait(context.Background(), st.ID)
+	if err != nil || fin.State != service.StateDone {
+		t.Fatalf("wire wait: %v %s", err, fin.State)
+	}
+	jfin, err := jsonClient.Job(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resultJSON(t, *fin.Result) != resultJSON(t, *jfin.Result) {
+		t.Error("wire and JSON views of one job disagree")
+	}
+	res, ok, err := wireClient.ResultByHash(context.Background(), fin.Hash)
+	if err != nil || !ok {
+		t.Fatalf("wire ResultByHash: ok=%v err=%v", ok, err)
+	}
+	if resultJSON(t, res) != resultJSON(t, *fin.Result) {
+		t.Error("wire hash lookup returned a different result")
 	}
 }

@@ -70,6 +70,14 @@ type Coordinator struct {
 	inflight    map[string]int // worker ID -> jobs assigned to it
 	soloRetain  []string
 	batchRetain []string
+
+	// wireAddr is the coordinator's own advertised binary listener (set
+	// via SetWireAddr before serving traffic; surfaced in /v1/healthz).
+	wireAddr string
+	// replicated memoizes replication attempts (worker ID + digest) so
+	// ReplicateOnce does not re-ask a worker that already fetched or
+	// failed this round cadence.
+	replicated map[string]time.Time
 }
 
 // New builds a coordinator: opens (and replays) the store, seeds the
@@ -133,21 +141,31 @@ func New(ctx context.Context, opts Options) (*Coordinator, error) {
 	reg.ProbeOnce(ctx)
 	rctx, cancel := context.WithCancel(context.Background())
 	c := &Coordinator{
-		reg:      reg,
-		router:   NewRouter(reg),
-		store:    store,
-		opts:     opts,
-		start:    time.Now(),
-		ctx:      rctx,
-		cancel:   cancel,
-		sem:      make(chan struct{}, opts.BatchConcurrency),
-		batches:  make(map[string]*batchEntry),
-		inflight: make(map[string]int),
+		reg:        reg,
+		router:     NewRouter(reg),
+		store:      store,
+		opts:       opts,
+		start:      time.Now(),
+		ctx:        rctx,
+		cancel:     cancel,
+		sem:        make(chan struct{}, opts.BatchConcurrency),
+		batches:    make(map[string]*batchEntry),
+		inflight:   make(map[string]int),
+		replicated: make(map[string]time.Time),
 	}
+	// Failover checkpoint transfer: before a spec lands on a worker that
+	// does not hold its warm checkpoint, pull it from a peer that does.
+	c.router.Prefetch = c.prefetchCheckpoint
 	c.recover()
+	c.wg.Add(1)
+	go c.replicateLoop()
 	ok = true
 	return c, nil
 }
+
+// SetWireAddr records the coordinator's advertised binary listener for
+// /v1/healthz. Call before serving traffic.
+func (c *Coordinator) SetWireAddr(addr string) { c.wireAddr = addr }
 
 // Close stops the drivers, probe loop and store. Deliberately
 // crash-equivalent for the WAL (no final checkpoint): unfinished jobs
@@ -748,7 +766,10 @@ func (c *Coordinator) Health() service.HealthPayload {
 		h.Stats.Warm.Skipped += s.Warm.Skipped
 		h.Stats.Warm.WarmupCyclesSimulated += s.Warm.WarmupCyclesSimulated
 		h.Stats.Warm.WarmupCyclesReused += s.Warm.WarmupCyclesReused
+		h.Stats.Warm.Installed += s.Warm.Installed
 	}
+	h.WireAddr = c.wireAddr
+	h.Conns = service.SharedConnStats()
 	st := c.store.Stats()
 	ws := &service.WALStats{
 		Durable:         st.Durable,
@@ -828,46 +849,16 @@ func (c *Coordinator) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	key, _, err := RouteKey(spec)
+	st, err := c.SubmitJob(r.Context(), spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	st, wk, err := c.router.Submit(r.Context(), key, spec, nil)
-	switch {
-	case errors.Is(err, ErrNoWorkers):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
 		proxyError(w, err)
 		return
 	}
-	id := JoinJobID(c.store.NextJobID(), wk.ID)
-	rec := JobRecord{ID: id, Spec: spec, Key: key, Hash: st.Hash, State: st.State}
+	code := http.StatusAccepted
 	if st.State.Terminal() {
-		applyStatus(&rec, st)
-		rec.Worker = wk.ID
-		if err := c.store.PutJob(rec); err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		c.retireJob(id)
-		st.ID = id
-		writeJSON(w, http.StatusOK, service.PayloadFor(st))
-		return
+		code = http.StatusOK
 	}
-	rec.Worker, rec.Local = wk.ID, st.ID
-	if err := c.store.PutJob(rec); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	c.mu.Lock()
-	c.inflight[wk.ID]++
-	c.mu.Unlock()
-	c.wg.Add(1)
-	go c.drive(id)
-	st.ID = id
-	writeJSON(w, http.StatusAccepted, service.PayloadFor(st))
+	writeJSON(w, code, service.PayloadFor(st))
 }
 
 // resolve parses a legacy namespaced job ID ("jNNN@wK", minted by
@@ -885,33 +876,11 @@ func (c *Coordinator) resolve(id string) (*Worker, string, error) {
 }
 
 func (c *Coordinator) job(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if rec, ok := c.store.Job(id); ok {
-		if !rec.State.Terminal() && rec.Worker != "" {
-			if wk, okw := c.reg.Worker(rec.Worker); okw {
-				if st, err := wk.Client.Job(r.Context(), rec.Local); err == nil {
-					st.ID = rec.ID
-					writeJSON(w, http.StatusOK, service.PayloadFor(st))
-					return
-				}
-			}
-			// Worker unreachable: the stored view stands in; the driver
-			// is re-routing behind the scenes.
-		}
-		writeJSON(w, http.StatusOK, service.PayloadFor(statusFromRecord(rec)))
-		return
-	}
-	wk, jobID, err := c.resolve(id)
-	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	st, err := wk.Client.Job(r.Context(), jobID)
+	st, err := c.JobByID(r.Context(), r.PathValue("id"))
 	if err != nil {
 		proxyError(w, err)
 		return
 	}
-	st.ID = JoinJobID(st.ID, wk.ID)
 	writeJSON(w, http.StatusOK, service.PayloadFor(st))
 }
 
@@ -1128,18 +1097,16 @@ func (c *Coordinator) batchStatus(w http.ResponseWriter, r *http.Request) {
 // parameters, warm keys do not), so admitted workers are asked in turn.
 func (c *Coordinator) result(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
-	for _, wk := range c.reg.Workers() {
-		if !c.reg.Up(wk.ID) {
-			continue
-		}
-		res, ok, err := wk.Client.ResultByHash(r.Context(), hash)
-		if err != nil || !ok {
-			continue
-		}
-		writeJSON(w, http.StatusOK, service.ResultPayload{Hash: hash, Result: res, Metrics: service.MetricsFor(res)})
+	res, ok, err := c.ResultFleet(r.Context(), hash)
+	if err != nil {
+		proxyError(w, err)
 		return
 	}
-	writeError(w, http.StatusNotFound, "no cached result for %s", hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for %s", hash)
+		return
+	}
+	writeJSON(w, http.StatusOK, service.ResultPayload{Hash: hash, Result: res, Metrics: service.MetricsFor(res)})
 }
 
 func (c *Coordinator) healthz(w http.ResponseWriter, r *http.Request) {
@@ -1166,7 +1133,7 @@ func (c *Coordinator) register(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "register: url required")
 		return
 	}
-	info, changed, err := c.reg.Register(req.URL, req.Version)
+	info, changed, err := c.reg.Register(req)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

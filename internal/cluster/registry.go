@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -82,6 +83,10 @@ type RegistryOptions struct {
 	// service.Client (defaults: client defaults).
 	RequestTimeout time.Duration
 	PollInterval   time.Duration
+	// DisableWire pins every per-worker client to HTTP/JSON even against
+	// workers that advertise a wire listener (cross-protocol comparison
+	// runs, debugging).
+	DisableWire bool
 }
 
 func (o RegistryOptions) withDefaults() RegistryOptions {
@@ -129,6 +134,11 @@ type Worker struct {
 	health    service.HealthPayload
 	probed    time.Time
 	beat      time.Time // last heartbeat registration
+	// wireAddr is the worker's advertised binary fast-path listener;
+	// checkpoints the warm-checkpoint digests it can serve. Both refresh
+	// from probes and heartbeats.
+	wireAddr    string
+	checkpoints map[string]struct{}
 }
 
 // WorkerInfo is a worker's exported status snapshot (served by
@@ -151,6 +161,10 @@ type WorkerInfo struct {
 	// HeartbeatAge is seconds since the last self-registration
 	// heartbeat (absent for workers that never registered themselves).
 	HeartbeatAge float64 `json:"heartbeat_age_s,omitempty"`
+	// WireAddr is the worker's advertised binary fast-path listener;
+	// Checkpoints counts the warm-checkpoint digests it advertises.
+	WireAddr    string `json:"wire_addr,omitempty"`
+	Checkpoints int    `json:"checkpoints,omitempty"`
 	// Stats is the worker pool's statistics at the last probe — per-
 	// worker warm-hit and cache counters live here.
 	Stats service.PoolStats `json:"stats"`
@@ -234,6 +248,7 @@ func (r *Registry) Add(url, id string) (*Worker, error) {
 	c := service.NewClient(url)
 	c.RequestTimeout = r.opts.RequestTimeout
 	c.PollInterval = r.opts.PollInterval
+	c.DisableWire = r.opts.DisableWire
 	w := &Worker{
 		ID:        id,
 		URL:       url,
@@ -266,8 +281,8 @@ func (r *Registry) rebuildRingLocked() {
 // its health refreshed, and an ejected one is revived to
 // LifecycleActive. changed reports a membership or lifecycle change the
 // caller should persist.
-func (r *Registry) Register(url string, version int) (info WorkerInfo, changed bool, err error) {
-	url = strings.TrimSpace(strings.TrimRight(url, "/"))
+func (r *Registry) Register(req service.RegisterRequest) (info WorkerInfo, changed bool, err error) {
+	url := strings.TrimSpace(strings.TrimRight(req.URL, "/"))
 	r.mu.Lock()
 	w, ok := r.byURL[url]
 	r.mu.Unlock()
@@ -293,12 +308,13 @@ func (r *Registry) Register(url string, version int) (info WorkerInfo, changed b
 	w.fails = 0
 	w.backoff = 0
 	w.lastErr = ""
-	w.health.Version = version
-	if version == r.opts.FormatVersion {
+	w.health.Version = req.Version
+	w.setAdvertsLocked(req.WireAddr, req.Checkpoints)
+	if req.Version == r.opts.FormatVersion {
 		w.state = WorkerUp
 	} else {
 		w.state = WorkerIncompatible
-		w.lastErr = fmt.Sprintf("snapshot format version %d, coordinator requires %d", version, r.opts.FormatVersion)
+		w.lastErr = fmt.Sprintf("snapshot format version %d, coordinator requires %d", req.Version, r.opts.FormatVersion)
 	}
 	if w.lifecycle == LifecycleEjected {
 		w.lifecycle = LifecycleActive
@@ -439,7 +455,93 @@ func (r *Registry) infoLocked(w *Worker, now time.Time) WorkerInfo {
 	if !w.beat.IsZero() {
 		info.HeartbeatAge = now.Sub(w.beat).Seconds()
 	}
+	info.WireAddr = w.wireAddr
+	info.Checkpoints = len(w.checkpoints)
 	return info
+}
+
+// setAdvertsLocked refreshes a worker's wire-listener and checkpoint
+// advertisements (from a probe or heartbeat), under the registry mutex.
+func (w *Worker) setAdvertsLocked(wireAddr string, checkpoints []string) {
+	w.wireAddr = wireAddr
+	if len(checkpoints) == 0 {
+		w.checkpoints = nil
+		return
+	}
+	set := make(map[string]struct{}, len(checkpoints))
+	for _, k := range checkpoints {
+		set[k] = struct{}{}
+	}
+	w.checkpoints = set
+}
+
+// Holds reports whether a worker advertises checkpoint digest key.
+func (r *Registry) Holds(id, key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.byID[id]
+	if !ok {
+		return false
+	}
+	_, held := w.checkpoints[key]
+	return held
+}
+
+// MarkHolds records that a worker now serves checkpoint digest key
+// (after a successful transfer), ahead of its next heartbeat/probe
+// re-advertising it.
+func (r *Registry) MarkHolds(id, key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.byID[id]
+	if !ok {
+		return
+	}
+	if w.checkpoints == nil {
+		w.checkpoints = make(map[string]struct{})
+	}
+	w.checkpoints[key] = struct{}{}
+}
+
+// HoldersOf returns the base URLs of health-admitted workers
+// advertising checkpoint digest key, excluding worker ID exclude.
+// Lifecycle is ignored: a cordoned or draining worker can still serve a
+// checkpoint transfer.
+func (r *Registry) HoldersOf(key, exclude string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var urls []string
+	for _, w := range r.workers {
+		if w.ID == exclude || w.state != WorkerUp {
+			continue
+		}
+		if _, held := w.checkpoints[key]; held {
+			urls = append(urls, w.URL)
+		}
+	}
+	return urls
+}
+
+// CheckpointKeys returns every checkpoint digest advertised by any
+// health-admitted worker, sorted.
+func (r *Registry) CheckpointKeys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := make(map[string]struct{})
+	for _, w := range r.workers {
+		if w.state != WorkerUp {
+			continue
+		}
+		for k := range w.checkpoints {
+			set[k] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // InfoFor snapshots one worker's status.
@@ -527,6 +629,7 @@ func (r *Registry) ProbeOnce(ctx context.Context) {
 				return
 			}
 			w.health = h
+			w.setAdvertsLocked(h.WireAddr, h.Checkpoints)
 			w.fails = 0
 			w.backoff = 0
 			w.lastErr = ""

@@ -183,7 +183,7 @@ func TestRegistryFleetValidation(t *testing.T) {
 // and revives an ejected one.
 func TestRegistryHeartbeatRegistration(t *testing.T) {
 	r := newManualRegistry(t, RegistryOptions{})
-	info, changed, err := r.Register("http://w:8344/", snapshot.FormatVersion)
+	info, changed, err := r.Register(service.RegisterRequest{URL: "http://w:8344/", Version: snapshot.FormatVersion})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestRegistryHeartbeatRegistration(t *testing.T) {
 	}
 
 	// Re-registration of the same URL (trailing slash and all): no change.
-	again, changed, err := r.Register("http://w:8344", snapshot.FormatVersion)
+	again, changed, err := r.Register(service.RegisterRequest{URL: "http://w:8344", Version: snapshot.FormatVersion})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestRegistryHeartbeatRegistration(t *testing.T) {
 	}
 
 	// A version-skewed heartbeat registers but is held out of routing.
-	skew, _, err := r.Register("http://skew:8344", snapshot.FormatVersion+1)
+	skew, _, err := r.Register(service.RegisterRequest{URL: "http://skew:8344", Version: snapshot.FormatVersion + 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestRegistryHeartbeatRegistration(t *testing.T) {
 	if r.Routable(info.ID) {
 		t.Fatal("ejected worker must not be routable")
 	}
-	revived, changed, err := r.Register("http://w:8344", snapshot.FormatVersion)
+	revived, changed, err := r.Register(service.RegisterRequest{URL: "http://w:8344", Version: snapshot.FormatVersion})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,6 +37,13 @@ func RouteKey(spec service.JobSpec) (key string, warm bool, err error) {
 // because results are a deterministic function of the configuration.
 type Router struct {
 	reg *Registry
+	// Prefetch, when set, runs after a worker is picked and before the
+	// spec is submitted to it: the coordinator uses it to pull the key's
+	// warm checkpoint onto a failover placement from a peer that still
+	// holds it, so the new worker restores instead of re-simulating the
+	// warmup. Must be best-effort and bounded: a slow or failing
+	// prefetch only delays the submit, never fails it.
+	Prefetch func(ctx context.Context, w *Worker, key string)
 }
 
 // NewRouter returns a router over the registry's fleet.
@@ -94,6 +101,9 @@ func (rt *Router) Submit(ctx context.Context, key string, spec service.JobSpec, 
 				return service.JobStatus{}, nil, fmt.Errorf("cluster: all workers failed, last: %w", lastErr)
 			}
 			return service.JobStatus{}, nil, ErrNoWorkers
+		}
+		if rt.Prefetch != nil {
+			rt.Prefetch(ctx, w, key)
 		}
 		st, err := w.Client.Submit(ctx, spec)
 		switch {

@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"bump/internal/service"
+	"bump/internal/sim"
+)
+
+// This file carries the coordinator's protocol-independent request
+// cores — shared by the HTTP handlers and the binary wire backend so
+// both paths run identical logic — plus the checkpoint transfer
+// machinery (prefetch-on-failover and background replication).
+
+// coerceAPIError maps any worker/coordinator error onto an APIError so
+// both protocols report the same code: API errors pass through,
+// transport failures become 502 (the HTTP proxyError mapping).
+func coerceAPIError(err error) error {
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		return err
+	}
+	return &service.APIError{Code: http.StatusBadGateway, Message: err.Error()}
+}
+
+// SubmitJob routes a spec to its affinity worker, records the job
+// durably under a coordinator-minted ID, and spawns its driver — the
+// protocol-independent core of POST /v1/jobs. Errors are *service.
+// APIError with the same codes the HTTP handler serves.
+func (c *Coordinator) SubmitJob(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	key, _, err := RouteKey(spec)
+	if err != nil {
+		return service.JobStatus{}, &service.APIError{Code: http.StatusBadRequest, Message: err.Error()}
+	}
+	st, wk, err := c.router.Submit(ctx, key, spec, nil)
+	switch {
+	case errors.Is(err, ErrNoWorkers):
+		return service.JobStatus{}, &service.APIError{Code: http.StatusServiceUnavailable, Message: err.Error()}
+	case err != nil:
+		return service.JobStatus{}, coerceAPIError(err)
+	}
+	id := JoinJobID(c.store.NextJobID(), wk.ID)
+	rec := JobRecord{ID: id, Spec: spec, Key: key, Hash: st.Hash, State: st.State}
+	if st.State.Terminal() {
+		applyStatus(&rec, st)
+		rec.Worker = wk.ID
+		if err := c.store.PutJob(rec); err != nil {
+			return service.JobStatus{}, &service.APIError{Code: http.StatusInternalServerError, Message: err.Error()}
+		}
+		c.retireJob(id)
+		st.ID = id
+		return st, nil
+	}
+	rec.Worker, rec.Local = wk.ID, st.ID
+	if err := c.store.PutJob(rec); err != nil {
+		return service.JobStatus{}, &service.APIError{Code: http.StatusInternalServerError, Message: err.Error()}
+	}
+	c.mu.Lock()
+	c.inflight[wk.ID]++
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go c.drive(id)
+	st.ID = id
+	return st, nil
+}
+
+// JobByID answers a status query — live from the assigned worker when
+// reachable, from the store otherwise — the core of GET /v1/jobs/{id}.
+func (c *Coordinator) JobByID(ctx context.Context, id string) (service.JobStatus, error) {
+	if rec, ok := c.store.Job(id); ok {
+		if !rec.State.Terminal() && rec.Worker != "" {
+			if wk, okw := c.reg.Worker(rec.Worker); okw {
+				if st, err := wk.Client.Job(ctx, rec.Local); err == nil {
+					st.ID = rec.ID
+					return st, nil
+				}
+			}
+			// Worker unreachable: the stored view stands in; the driver
+			// is re-routing behind the scenes.
+		}
+		return statusFromRecord(rec), nil
+	}
+	wk, jobID, err := c.resolve(id)
+	if err != nil {
+		return service.JobStatus{}, &service.APIError{Code: http.StatusNotFound, Message: err.Error()}
+	}
+	st, err := wk.Client.Job(ctx, jobID)
+	if err != nil {
+		return service.JobStatus{}, coerceAPIError(err)
+	}
+	st.ID = JoinJobID(st.ID, wk.ID)
+	return st, nil
+}
+
+// ResultFleet looks a cached result up across the admitted fleet — the
+// core of GET /v1/results/{hash}.
+func (c *Coordinator) ResultFleet(ctx context.Context, hash string) (sim.Result, bool, error) {
+	for _, wk := range c.reg.Workers() {
+		if !c.reg.Up(wk.ID) {
+			continue
+		}
+		res, ok, err := wk.Client.ResultByHash(ctx, hash)
+		if err != nil || !ok {
+			continue
+		}
+		return res, true, nil
+	}
+	return sim.Result{}, false, nil
+}
+
+// ---- WireBackend ------------------------------------------------------
+
+// The coordinator serves the binary wire protocol directly (bumpctl
+// -wire-addr): the same tracked-job semantics as the HTTP surface.
+var _ service.WireBackend = (*Coordinator)(nil)
+
+func (c *Coordinator) WireSubmit(ctx context.Context, spec service.JobSpec) (service.JobStatus, error) {
+	return c.SubmitJob(ctx, spec)
+}
+
+func (c *Coordinator) WireJob(ctx context.Context, id string) (service.JobStatus, error) {
+	return c.JobByID(ctx, id)
+}
+
+func (c *Coordinator) WireResult(ctx context.Context, hash string) (sim.Result, bool, error) {
+	return c.ResultFleet(ctx, hash)
+}
+
+func (c *Coordinator) WireBatch(ctx context.Context, spec service.BatchSpec, onPoint func(service.BatchPoint)) (service.BatchResult, error) {
+	id, err := c.StartBatch(spec)
+	if err != nil {
+		return service.BatchResult{}, &service.APIError{Code: http.StatusBadRequest, Message: err.Error()}
+	}
+	return c.WaitBatch(ctx, id, onPoint)
+}
+
+// WireWatch follows a tracked job to its terminal state, proxying
+// worker progress. A job mid-failover (unplaced, or its worker just
+// died) is re-polled on the retry cadence rather than erroring: the
+// driver is re-placing it behind the scenes.
+func (c *Coordinator) WireWatch(ctx context.Context, id string, onProgress func(sim.Progress)) (service.JobStatus, error) {
+	for {
+		rec, ok := c.store.Job(id)
+		if !ok {
+			// Legacy namespaced ID ("jNNN@wK"): proxy the worker directly.
+			wk, jobID, err := c.resolve(id)
+			if err != nil {
+				return service.JobStatus{}, &service.APIError{Code: http.StatusNotFound, Message: err.Error()}
+			}
+			st, err := wk.Client.Watch(ctx, jobID, onProgress)
+			if err != nil {
+				return service.JobStatus{}, coerceAPIError(err)
+			}
+			st.ID = JoinJobID(st.ID, wk.ID)
+			return st, nil
+		}
+		if rec.State.Terminal() {
+			return statusFromRecord(rec), nil
+		}
+		if rec.Worker != "" {
+			if wk, okw := c.reg.Worker(rec.Worker); okw {
+				if st, err := wk.Client.Watch(ctx, rec.Local, onProgress); err == nil {
+					st.ID = rec.ID
+					return st, nil
+				}
+				// Worker lost mid-watch: fall through to re-poll; the
+				// driver fails the job over and the record converges.
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return service.JobStatus{}, ctx.Err()
+		case <-c.ctx.Done():
+			return service.JobStatus{}, c.ctx.Err()
+		case <-time.After(c.opts.RetryInterval):
+		}
+	}
+}
+
+// ---- Checkpoint transfer ----------------------------------------------
+
+// prefetchTimeout bounds one checkpoint transfer ahead of a submit —
+// generous against warm checkpoints of tens of MB, small against the
+// warmup simulation the transfer replaces.
+const prefetchTimeout = 15 * time.Second
+
+// replicaTargets is how many leading routable ring successors
+// ReplicateOnce keeps supplied per digest: the second is exactly the
+// failover target if the first (the affinity owner) dies.
+const replicaTargets = 2
+
+// replicateMemo is how long a (worker, digest) replication attempt is
+// remembered before it may be retried.
+const replicateMemo = 30 * time.Second
+
+// prefetchCheckpoint is the Router.Prefetch hook: if the picked worker
+// does not hold key's warm checkpoint but an admitted peer does, ask
+// the worker to fetch it before the spec lands — a failover placement
+// then restores the warmup instead of re-simulating it. Best-effort:
+// any failure just means the worker warms up the slow way.
+func (c *Coordinator) prefetchCheckpoint(ctx context.Context, w *Worker, key string) {
+	if c.reg.Holds(w.ID, key) {
+		return
+	}
+	sources := c.reg.HoldersOf(key, w.ID)
+	if len(sources) == 0 {
+		return
+	}
+	fctx, cancel := context.WithTimeout(ctx, prefetchTimeout)
+	defer cancel()
+	if ok, err := w.Client.FetchCheckpoint(fctx, key, sources); err == nil && ok {
+		c.reg.MarkHolds(w.ID, key)
+	}
+}
+
+// ReplicateOnce pushes every advertised warm-checkpoint digest onto the
+// first replicaTargets routable workers of its ring sequence, so the
+// digest's failover target already holds the warm state before the
+// owner dies. Returns the number of successful transfers.
+func (c *Coordinator) ReplicateOnce(ctx context.Context) int {
+	fetched := 0
+	now := time.Now()
+	for _, key := range c.reg.CheckpointKeys() {
+		placed := 0
+		for _, url := range c.reg.Ring().Sequence(key) {
+			if placed >= replicaTargets {
+				break
+			}
+			w, ok := c.reg.WorkerByURL(url)
+			if !ok || !c.reg.Routable(w.ID) {
+				continue
+			}
+			placed++
+			if c.reg.Holds(w.ID, key) {
+				continue
+			}
+			memo := w.ID + "\x00" + key
+			c.mu.Lock()
+			last, tried := c.replicated[memo]
+			if !tried || now.Sub(last) >= replicateMemo {
+				c.replicated[memo] = now
+				tried = false
+			}
+			c.mu.Unlock()
+			if tried {
+				continue
+			}
+			sources := c.reg.HoldersOf(key, w.ID)
+			if len(sources) == 0 {
+				continue
+			}
+			fctx, cancel := context.WithTimeout(ctx, prefetchTimeout)
+			ok2, err := w.Client.FetchCheckpoint(fctx, key, sources)
+			cancel()
+			if err == nil && ok2 {
+				c.reg.MarkHolds(w.ID, key)
+				fetched++
+			}
+		}
+	}
+	return fetched
+}
+
+// replicateLoop runs ReplicateOnce on the probe cadence, so a fresh
+// checkpoint is replicated to its failover target within roughly one
+// probe round of first being advertised.
+func (c *Coordinator) replicateLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.reg.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.ReplicateOnce(c.ctx)
+		}
+	}
+}

@@ -67,6 +67,18 @@ type HealthPayload struct {
 	// Uptime is seconds since this server started.
 	Uptime float64   `json:"uptime_s"`
 	Stats  PoolStats `json:"stats"`
+	// WireAddr is the server's binary fast-path listener ("host:port";
+	// the host may be empty — clients fill it from the base URL). Absent
+	// when no wire listener is serving.
+	WireAddr string `json:"wire_addr,omitempty"`
+	// Checkpoints lists the warm-checkpoint digests this server can
+	// serve via GET /v1/checkpoints/{digest} (sorted; absent when warm
+	// starts are off). The cluster registry mirrors these from probes so
+	// failover placements know where to fetch a warm state from.
+	Checkpoints []string `json:"checkpoints,omitempty"`
+	// Conns reports HTTP connection reuse for the process-wide shared
+	// transport.
+	Conns ConnStats `json:"conns"`
 	// WAL reports a cluster coordinator's durability state (absent on
 	// plain workers).
 	WAL *WALStats `json:"wal,omitempty"`
@@ -117,8 +129,24 @@ type WALStats struct {
 //	GET  /v1/results/{hash}   cached result lookup by config hash
 //	GET  /v1/healthz          liveness + queue/cache statistics,
 //	                          snapshot format version and uptime
+//	GET  /v1/checkpoints/{digest}  raw warm checkpoint bytes (404 when
+//	                          not held); POST /v1/checkpoints/fetch pulls
+//	                          a digest from listed peer sources
 func NewHandler(p *Pool) http.Handler {
-	s := &server{pool: p, start: time.Now()}
+	return NewHandlerInfo(p, ServerInfo{})
+}
+
+// ServerInfo is what a server advertises about itself beyond pool
+// statistics — currently the wire fast-path address.
+type ServerInfo struct {
+	// WireAddr is the binary protocol listener to advertise in
+	// /v1/healthz (empty = no wire listener).
+	WireAddr string
+}
+
+// NewHandlerInfo is NewHandler with server self-description.
+func NewHandlerInfo(p *Pool, info ServerInfo) http.Handler {
+	s := &server{pool: p, info: info, start: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
@@ -127,11 +155,14 @@ func NewHandler(p *Pool) http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.batch)
 	mux.HandleFunc("GET /v1/results/{hash}", s.result)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
+	mux.HandleFunc("GET /v1/checkpoints/{digest}", s.checkpoint)
+	mux.HandleFunc("POST /v1/checkpoints/fetch", s.checkpointFetch)
 	return mux
 }
 
 type server struct {
 	pool  *Pool
+	info  ServerInfo
 	start time.Time
 }
 
@@ -205,11 +236,77 @@ func (s *server) result(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthPayload{
-		Status:  "ok",
-		Version: snapshot.FormatVersion,
-		Uptime:  time.Since(s.start).Seconds(),
-		Stats:   s.pool.Stats(),
+		Status:      "ok",
+		Version:     snapshot.FormatVersion,
+		Uptime:      time.Since(s.start).Seconds(),
+		Stats:       s.pool.Stats(),
+		WireAddr:    s.info.WireAddr,
+		Checkpoints: s.pool.WarmKeys(),
+		Conns:       SharedConnStats(),
 	})
+}
+
+// checkpoint serves a warm checkpoint's raw bytes by digest — the
+// transfer path a failover placement uses to avoid re-simulating a
+// warmup the dead worker's peers already hold.
+func (s *server) checkpoint(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	data, ok := s.pool.WarmCheckpoint(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no checkpoint %s", digest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(data)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// checkpointFetchRequest asks a server to pull a warm checkpoint from
+// one of the listed peer base URLs (tried in order).
+type checkpointFetchRequest struct {
+	Digest  string   `json:"digest"`
+	Sources []string `json:"sources"`
+}
+
+// checkpointFetchResponse reports whether the digest is now held
+// locally and which source supplied it ("" when it was already local).
+type checkpointFetchResponse struct {
+	Fetched bool   `json:"fetched"`
+	Source  string `json:"source,omitempty"`
+}
+
+func (s *server) checkpointFetch(w http.ResponseWriter, r *http.Request) {
+	var req checkpointFetchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid fetch request: %v", err)
+		return
+	}
+	if req.Digest == "" {
+		writeError(w, http.StatusBadRequest, "missing digest")
+		return
+	}
+	if _, ok := s.pool.WarmCheckpoint(req.Digest); ok {
+		writeJSON(w, http.StatusOK, checkpointFetchResponse{Fetched: true})
+		return
+	}
+	for _, src := range req.Sources {
+		c := NewClient(src)
+		data, ok, err := c.Checkpoint(r.Context(), req.Digest)
+		c.Close()
+		if err != nil || !ok {
+			continue // dead or checkpoint-less peer: try the next source
+		}
+		if err := s.pool.InstallWarmCheckpoint(req.Digest, data); err != nil {
+			writeError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, checkpointFetchResponse{Fetched: true, Source: src})
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointFetchResponse{Fetched: false})
 }
 
 // batch executes a whole sweep in one request. SSE clients (Accept:

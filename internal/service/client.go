@@ -29,18 +29,38 @@ type Client struct {
 	// Streaming calls (Events, Batch) are bounded by their context only:
 	// a progress stream legitimately outlives any fixed request budget.
 	RequestTimeout time.Duration
+	// WireAddr pins the server's binary fast-path address ("host:port";
+	// an empty host is filled from the base URL). When empty the client
+	// discovers it from /v1/healthz on first use.
+	WireAddr string
+	// DisableWire forces every call onto the HTTP/JSON slow path.
+	DisableWire bool
+
+	wire wireState
 }
 
 // NewClient returns a client for a server base URL (e.g.
 // "http://localhost:8344").
+//
+// Hot calls (Submit, Job, ResultByHash, Batch, Watch) prefer the
+// server's binary wire protocol on persistent pooled connections,
+// negotiated at first use and falling back to HTTP/JSON transparently
+// — against servers without a wire listener, after transport faults,
+// and on wire format-version skew. Both paths return byte-identical
+// results.
 func NewClient(base string) *Client {
 	return &Client{
 		base: strings.TrimRight(base, "/"),
 		// No http.Client.Timeout: it would sever SSE streams mid-job.
 		// Non-streaming calls get per-request context deadlines instead.
-		http: &http.Client{},
+		// The transport is shared process-wide for keep-alive reuse.
+		http: &http.Client{Transport: sharedTransport},
 	}
 }
+
+// Close releases the client's pooled wire connections. Safe to skip for
+// short-lived clients; idle connections also die with the process.
+func (c *Client) Close() { c.closeWire() }
 
 // Base returns the server base URL — the worker's identity in cluster
 // topologies.
@@ -75,6 +95,7 @@ func (e *APIError) Error() string {
 func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, out any) error {
 	ctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
 	defer cancel()
+	ctx = traceConns(ctx)
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -124,6 +145,9 @@ func (c *Client) apiError(code int, status string, body []byte) *APIError {
 // Submit posts a job spec and returns the server's status snapshot
 // (which may already be done on a cache hit).
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	if st, handled, err := c.wireSubmit(ctx, spec); handled {
+		return st, err
+	}
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return JobStatus{}, err
@@ -137,6 +161,9 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 
 // Job fetches a job's current status.
 func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	if st, handled, err := c.wireJob(ctx, id); handled {
+		return st, err
+	}
 	var p JobPayload
 	if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/jobs/"+id, nil, &p); err != nil {
 		return JobStatus{}, err
@@ -155,6 +182,9 @@ func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
 
 // ResultByHash fetches a cached result by config hash.
 func (c *Client) ResultByHash(ctx context.Context, hash string) (sim.Result, bool, error) {
+	if res, ok, handled, err := c.wireResult(ctx, hash); handled {
+		return res, ok, err
+	}
 	var p ResultPayload
 	if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/results/"+hash, nil, &p); err != nil {
 		var apiErr *APIError
@@ -173,6 +203,51 @@ func (c *Client) Health(ctx context.Context) (HealthPayload, error) {
 		return HealthPayload{}, err
 	}
 	return h, nil
+}
+
+// Checkpoint fetches a warm checkpoint's raw bytes by digest. ok=false
+// means the server does not hold it (not an error).
+func (c *Client) Checkpoint(ctx context.Context, digest string) ([]byte, bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
+	defer cancel()
+	ctx = traceConns(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/checkpoints/"+digest, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("service: %s: checkpoint: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return nil, false, nil
+	}
+	if resp.StatusCode >= 400 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return nil, false, c.apiError(resp.StatusCode, resp.Status, data)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, false, fmt.Errorf("service: %s: checkpoint: %w", c.base, err)
+	}
+	return data, true, nil
+}
+
+// FetchCheckpoint asks the server to pull a checkpoint digest from the
+// listed peer base URLs (POST /v1/checkpoints/fetch). It returns
+// whether the server now holds the digest.
+func (c *Client) FetchCheckpoint(ctx context.Context, digest string, sources []string) (bool, error) {
+	body, err := json.Marshal(checkpointFetchRequest{Digest: digest, Sources: sources})
+	if err != nil {
+		return false, err
+	}
+	var resp checkpointFetchResponse
+	if err := c.doJSON(ctx, http.MethodPost, c.base+"/v1/checkpoints/fetch", body, &resp); err != nil {
+		return false, err
+	}
+	return resp.Fetched, nil
 }
 
 // Wait polls until the job reaches a terminal state or ctx expires.
@@ -238,6 +313,7 @@ func (e Event) Terminal() bool {
 func (c *Client) stream(ctx context.Context, method, url string, body []byte, fn func(Event) error) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	ctx = traceConns(ctx)
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -308,6 +384,14 @@ func (c *Client) Events(ctx context.Context, id string, fn func(Event) error) er
 // streams per-point completions to onPoint (which may be nil) as they
 // finish, returning the aggregate in submission order.
 func (c *Client) Batch(ctx context.Context, spec BatchSpec, onPoint func(BatchPoint)) (BatchResult, error) {
+	if res, handled, err := c.wireBatch(ctx, spec, onPoint); handled {
+		return res, err
+	}
+	// A wire stream severed mid-batch falls through here and restarts
+	// the batch over JSON: onPoint may then see some points twice
+	// (delivery is at-least-once across a transport failure), but the
+	// pool coalesces re-submitted points so nothing re-executes and the
+	// aggregate is unaffected.
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return BatchResult{}, err
@@ -347,4 +431,43 @@ func (c *Client) Batch(ctx context.Context, spec BatchSpec, onPoint func(BatchPo
 		return BatchResult{}, fmt.Errorf("service: %s: batch stream ended without aggregate", c.base)
 	}
 	return res, nil
+}
+
+// Watch follows a job to completion, delivering progress snapshots to
+// onProgress (which may be nil) and returning the terminal status —
+// the structured form of Events, served over the wire fast path when
+// available and the SSE stream otherwise.
+func (c *Client) Watch(ctx context.Context, id string, onProgress func(sim.Progress)) (JobStatus, error) {
+	if st, handled, err := c.wireWatch(ctx, id, onProgress); handled {
+		return st, err
+	}
+	var final JobStatus
+	sawTerminal := false
+	err := c.Events(ctx, id, func(ev Event) error {
+		switch {
+		case ev.Name == "progress":
+			if onProgress != nil {
+				var pr sim.Progress
+				if err := json.Unmarshal(ev.Data, &pr); err != nil {
+					return fmt.Errorf("service: %s: decode progress: %w", c.base, err)
+				}
+				onProgress(pr)
+			}
+		case State(ev.Name).Terminal():
+			var p JobPayload
+			if err := json.Unmarshal(ev.Data, &p); err != nil {
+				return fmt.Errorf("service: %s: decode terminal event: %w", c.base, err)
+			}
+			final = p.JobStatus
+			sawTerminal = true
+		}
+		return nil
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if !sawTerminal {
+		return JobStatus{}, fmt.Errorf("service: %s: event stream ended without a terminal state", c.base)
+	}
+	return final, nil
 }

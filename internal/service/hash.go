@@ -5,8 +5,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"io"
 	"reflect"
+	"strconv"
+	"sync"
 
 	"bump/internal/sim"
 )
@@ -23,6 +24,19 @@ var ErrNotHashable = errors.New("service: config with custom Streams is not hash
 // rest of the structure).
 const hashVersion = "bump-config-v2"
 
+// canonBuf holds the reusable scratch state of one canonical encoding:
+// the output bytes and the current field path. Hashing runs on every
+// submit, so the encoder appends into pooled buffers instead of
+// allocating per field.
+type canonBuf struct {
+	out  []byte
+	path []byte
+}
+
+var canonPool = sync.Pool{New: func() any { return new(canonBuf) }}
+
+var stringerType = reflect.TypeOf((*fmt.Stringer)(nil)).Elem()
+
 // Hash returns the canonical content hash of a resolved configuration:
 // two configs hash equal iff every identity-bearing field is equal. The
 // encoding walks the config structure reflectively in declared field
@@ -32,12 +46,15 @@ func Hash(cfg sim.Config) (string, error) {
 	if cfg.Streams != nil {
 		return "", ErrNotHashable
 	}
-	h := sha256.New()
-	io.WriteString(h, hashVersion)
-	if err := writeCanonical(h, reflect.ValueOf(cfg), "cfg"); err != nil {
+	b := canonPool.Get().(*canonBuf)
+	defer canonPool.Put(b)
+	b.out = append(b.out[:0], hashVersion...)
+	b.path = append(b.path[:0], "cfg"...)
+	if err := b.writeCanonical(reflect.ValueOf(cfg)); err != nil {
 		return "", err
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	sum := sha256.Sum256(b.out)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // HashSpec resolves and hashes a job spec in one step.
@@ -49,47 +66,83 @@ func HashSpec(spec JobSpec) (string, error) {
 	return Hash(cfg)
 }
 
-// writeCanonical emits a deterministic byte encoding of v: structs
-// recurse in declared field order, scalars print as "path=value\n".
+// writeCanonical appends a deterministic byte encoding of v: structs
+// recurse in declared field order, scalars print as "path=value\n"
+// (value formatted exactly as fmt's %v would — the encoding predates
+// this allocation-free encoder and must stay byte-identical to it).
 // Func-typed fields must be nil (checked by Hash for Streams; any other
 // non-nil func is an error so it can never be silently ignored).
-func writeCanonical(w io.Writer, v reflect.Value, path string) error {
+func (b *canonBuf) writeCanonical(v reflect.Value) error {
 	switch v.Kind() {
 	case reflect.Struct:
 		t := v.Type()
+		n := len(b.path)
 		for i := 0; i < t.NumField(); i++ {
 			f := t.Field(i)
 			if !f.IsExported() {
-				return fmt.Errorf("service: unexported config field %s.%s", path, f.Name)
+				return fmt.Errorf("service: unexported config field %s.%s", b.path[:n], f.Name)
 			}
-			if err := writeCanonical(w, v.Field(i), path+"."+f.Name); err != nil {
+			b.path = append(append(b.path[:n], '.'), f.Name...)
+			if err := b.writeCanonical(v.Field(i)); err != nil {
 				return err
 			}
 		}
+		b.path = b.path[:n]
 		return nil
 	case reflect.Func:
 		if !v.IsNil() {
-			return fmt.Errorf("service: config field %s holds code and cannot be hashed", path)
+			return fmt.Errorf("service: config field %s holds code and cannot be hashed", b.path)
 		}
 		return nil
 	case reflect.Slice, reflect.Array:
-		fmt.Fprintf(w, "%s.len=%d\n", path, v.Len())
+		n := len(b.path)
+		b.out = append(b.out, b.path...)
+		b.out = append(b.out, ".len="...)
+		b.out = strconv.AppendInt(b.out, int64(v.Len()), 10)
+		b.out = append(b.out, '\n')
 		for i := 0; i < v.Len(); i++ {
-			if err := writeCanonical(w, v.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+			b.path = append(b.path[:n], '[')
+			b.path = strconv.AppendInt(b.path, int64(i), 10)
+			b.path = append(b.path, ']')
+			if err := b.writeCanonical(v.Index(i)); err != nil {
 				return err
 			}
 		}
+		b.path = b.path[:n]
 		return nil
 	case reflect.Bool, reflect.String,
 		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
 		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
 		reflect.Float32, reflect.Float64:
-		fmt.Fprintf(w, "%s=%v\n", path, v.Interface())
+		b.out = append(b.out, b.path...)
+		b.out = append(b.out, '=')
+		if v.Type().Implements(stringerType) {
+			// %v prints via Stringer (e.g. sim.Mechanism renders as its
+			// name, not its ordinal); keep that rendering.
+			b.out = append(b.out, v.Interface().(fmt.Stringer).String()...)
+			b.out = append(b.out, '\n')
+			return nil
+		}
+		switch v.Kind() {
+		case reflect.Bool:
+			b.out = strconv.AppendBool(b.out, v.Bool())
+		case reflect.String:
+			b.out = append(b.out, v.String()...)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			b.out = strconv.AppendInt(b.out, v.Int(), 10)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			b.out = strconv.AppendUint(b.out, v.Uint(), 10)
+		case reflect.Float32:
+			b.out = strconv.AppendFloat(b.out, v.Float(), 'g', -1, 32)
+		case reflect.Float64:
+			b.out = strconv.AppendFloat(b.out, v.Float(), 'g', -1, 64)
+		}
+		b.out = append(b.out, '\n')
 		return nil
 	default:
 		// Maps, pointers, channels, interfaces: no config struct uses
 		// them today; fail loudly if one appears rather than hash it
 		// non-deterministically.
-		return fmt.Errorf("service: cannot canonically encode %s (kind %s)", path, v.Kind())
+		return fmt.Errorf("service: cannot canonically encode %s (kind %s)", b.path, v.Kind())
 	}
 }

@@ -1,7 +1,12 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
+	"fmt"
+	"io"
+	"reflect"
 	"testing"
 
 	"bump/internal/sim"
@@ -109,5 +114,74 @@ func TestSpecConfigValidation(t *testing.T) {
 	}
 	if cfg.Mechanism != sim.BuMP {
 		t.Errorf("default mechanism = %v, want bump", cfg.Mechanism)
+	}
+}
+
+// referenceCanonical is the fmt-based encoder Hash originally used,
+// kept as the test oracle: the pooled allocation-free encoder must stay
+// byte-identical to it. Hashes are cache keys — silent encoding drift
+// would orphan every cached result without a hashVersion bump.
+func referenceCanonical(w io.Writer, v reflect.Value, path string) error {
+	switch v.Kind() {
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				return fmt.Errorf("service: unexported config field %s.%s", path, f.Name)
+			}
+			if err := referenceCanonical(w, v.Field(i), path+"."+f.Name); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Func:
+		if !v.IsNil() {
+			return fmt.Errorf("service: config field %s holds code and cannot be hashed", path)
+		}
+		return nil
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "%s.len=%d\n", path, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			if err := referenceCanonical(w, v.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		fmt.Fprintf(w, "%s=%v\n", path, v.Interface())
+		return nil
+	default:
+		return fmt.Errorf("service: cannot canonically encode %s (kind %s)", path, v.Kind())
+	}
+}
+
+func TestHashMatchesReferenceEncoding(t *testing.T) {
+	specs := []JobSpec{
+		specFixture(),
+		{Workload: "data-serving", Mechanism: "base-open", WarmupCycles: 1, MeasureCycles: 2, Seed: 42, MaxRowHitStreak: 7},
+		{Scenario: "consolidated", Mechanism: "bump", WarmupCycles: 1_000, MeasureCycles: 2_000},
+	}
+	for _, spec := range specs {
+		cfg, err := spec.Config()
+		if err != nil {
+			t.Fatalf("spec %+v: %v", spec, err)
+		}
+		h := sha256.New()
+		io.WriteString(h, hashVersion)
+		if err := referenceCanonical(h, reflect.ValueOf(cfg), "cfg"); err != nil {
+			t.Fatal(err)
+		}
+		want := hex.EncodeToString(h.Sum(nil))
+		got, err := Hash(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("spec %+v: pooled encoder diverged from the reference encoding: %s != %s", spec, got, want)
+		}
 	}
 }

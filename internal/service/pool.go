@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"container/heap"
 	"context"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"bump/internal/sim"
+	"bump/internal/snapshot"
 )
 
 // State is a job's lifecycle position.
@@ -60,6 +62,11 @@ type Options struct {
 	WarmStarts bool
 	// WarmEntries bounds retained warm checkpoints (default 16).
 	WarmEntries int
+	// WarmBackend layers a durable tier (internal/blob) under the warm
+	// store: checkpoints spill to it, survive restarts, and become
+	// transferable to peers via /v1/checkpoints/{digest}. Implies
+	// WarmStarts when non-nil.
+	WarmBackend sim.WarmBackend
 }
 
 func (o Options) withDefaults() Options {
@@ -169,8 +176,8 @@ func NewPool(opts Options) *Pool {
 		byHash: make(map[string]*job),
 	}
 	p.cache = newResultCache(p.opts.CacheEntries)
-	if p.opts.WarmStarts {
-		p.warm = sim.NewWarmStore(p.opts.WarmEntries)
+	if p.opts.WarmStarts || p.opts.WarmBackend != nil {
+		p.warm = sim.NewWarmStoreBacked(p.opts.WarmEntries, p.opts.WarmBackend)
 	}
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < p.opts.Workers; i++ {
@@ -379,6 +386,41 @@ func (p *Pool) Stats() PoolStats {
 		st.Warm = p.warm.Stats()
 	}
 	return st
+}
+
+// WarmKeys lists the warm-checkpoint digests this pool can serve (the
+// memory tier plus any durable backend), sorted — advertised in
+// heartbeats so peers know where to fetch a checkpoint from. Nil when
+// warm starts are off.
+func (p *Pool) WarmKeys() []string {
+	if p.warm == nil {
+		return nil
+	}
+	return p.warm.Keys()
+}
+
+// WarmCheckpoint returns the raw warm checkpoint for a digest, served
+// by GET /v1/checkpoints/{digest}.
+func (p *Pool) WarmCheckpoint(key string) ([]byte, bool) {
+	if p.warm == nil {
+		return nil, false
+	}
+	return p.warm.Checkpoint(key)
+}
+
+// InstallWarmCheckpoint publishes a checkpoint transferred from a peer:
+// the bytes are validated as a well-formed snapshot container before
+// they can satisfy any run. The digest key is trusted from the caller —
+// WarmKey digests are config hashes, not content hashes.
+func (p *Pool) InstallWarmCheckpoint(key string, data []byte) error {
+	if p.warm == nil {
+		return errors.New("service: warm starts are disabled")
+	}
+	if _, err := snapshot.NewReader(bytes.NewReader(data)); err != nil {
+		return fmt.Errorf("service: checkpoint %s: %w", key, err)
+	}
+	p.warm.Install(key, data)
+	return nil
 }
 
 // Close shuts the pool down: queued jobs are canceled, running jobs'

@@ -14,6 +14,13 @@ import (
 type RegisterRequest struct {
 	URL     string `json:"url"`
 	Version int    `json:"version"`
+	// WireAddr advertises the worker's binary fast-path listener (empty
+	// = HTTP/JSON only).
+	WireAddr string `json:"wire_addr,omitempty"`
+	// Checkpoints lists warm-checkpoint digests the worker can serve via
+	// GET /v1/checkpoints/{digest}, so the coordinator can route
+	// failover placements to a peer holding the warm state.
+	Checkpoints []string `json:"checkpoints,omitempty"`
 }
 
 // RegisterResponse echoes the coordinator's view of the worker: its
@@ -43,11 +50,18 @@ func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterRes
 // and retried on the next tick — a worker outliving a coordinator
 // restart re-joins the fresh coordinator by just continuing to beat.
 func (c *Client) Heartbeat(ctx context.Context, req RegisterRequest, interval time.Duration, report func(RegisterResponse, error)) {
+	c.HeartbeatFunc(ctx, func() RegisterRequest { return req }, interval, report)
+}
+
+// HeartbeatFunc is Heartbeat with a per-beat request builder, for
+// fields that change over a worker's lifetime (the warm-checkpoint
+// digests it advertises).
+func (c *Client) HeartbeatFunc(ctx context.Context, reqFn func() RegisterRequest, interval time.Duration, report func(RegisterResponse, error)) {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
 	beat := func() {
-		resp, err := c.Register(ctx, req)
+		resp, err := c.Register(ctx, reqFn())
 		if report != nil && ctx.Err() == nil {
 			report(resp, err)
 		}

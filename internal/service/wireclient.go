@@ -1,0 +1,482 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bump/internal/sim"
+	"bump/internal/wire"
+)
+
+// wireState is the client's view of one server's binary fast path:
+// negotiated lazily (the wire address comes from /v1/healthz unless
+// pinned), pooled persistent connections, and a health latch — a
+// transport fault demotes the client to HTTP/JSON for wireRetryAfter,
+// a version skew or a server without a listener demotes it permanently.
+type wireState struct {
+	mu        sync.Mutex
+	pool      *wire.Pool
+	off       bool // permanent: no listener, version skew, or Close
+	probed    bool
+	downUntil time.Time
+
+	calls     atomic.Uint64
+	fallbacks atomic.Uint64
+}
+
+// wireRetryAfter is how long a transport fault keeps the client on the
+// JSON slow path before the wire is retried.
+const wireRetryAfter = 5 * time.Second
+
+// WireStats counts a client's fast-path usage: Calls completed over the
+// wire, Fallbacks demoted to HTTP/JSON after a wire fault, and the
+// connection pool's dial/reuse counters.
+type WireStats struct {
+	Calls     uint64 `json:"calls"`
+	Fallbacks uint64 `json:"fallbacks"`
+	Dials     uint64 `json:"dials"`
+	Reuses    uint64 `json:"reuses"`
+}
+
+// WireStats returns cumulative fast-path counters.
+func (c *Client) WireStats() WireStats {
+	st := WireStats{
+		Calls:     c.wire.calls.Load(),
+		Fallbacks: c.wire.fallbacks.Load(),
+	}
+	c.wire.mu.Lock()
+	if c.wire.pool != nil {
+		ps := c.wire.pool.Stats()
+		st.Dials, st.Reuses = ps.Dials, ps.Reuses
+	}
+	c.wire.mu.Unlock()
+	return st
+}
+
+func (c *Client) closeWire() {
+	c.wire.mu.Lock()
+	p := c.wire.pool
+	c.wire.pool = nil
+	c.wire.off = true
+	c.wire.mu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
+// wireDown demotes to JSON temporarily (transport fault).
+func (c *Client) wireDown() {
+	c.wire.mu.Lock()
+	c.wire.downUntil = time.Now().Add(wireRetryAfter)
+	c.wire.mu.Unlock()
+}
+
+// wireDisable demotes to JSON permanently (format-version skew).
+func (c *Client) wireDisable() {
+	c.wire.mu.Lock()
+	p := c.wire.pool
+	c.wire.pool = nil
+	c.wire.off = true
+	c.wire.mu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
+// wirePool returns the connection pool for the server's wire listener,
+// negotiating the address on first use — nil means "use HTTP/JSON".
+func (c *Client) wirePool(ctx context.Context) *wire.Pool {
+	if c.DisableWire {
+		return nil
+	}
+	c.wire.mu.Lock()
+	defer c.wire.mu.Unlock()
+	if c.wire.off || time.Now().Before(c.wire.downUntil) {
+		return nil
+	}
+	if c.wire.pool != nil {
+		return c.wire.pool
+	}
+	addr := c.WireAddr
+	if addr == "" {
+		if c.wire.probed {
+			c.wire.off = true // server advertises no wire listener
+			return nil
+		}
+		h, err := c.Health(ctx)
+		if err != nil {
+			// Server unreachable: let the caller's JSON path surface the
+			// real error; re-probe after the demotion window.
+			c.wire.downUntil = time.Now().Add(wireRetryAfter)
+			return nil
+		}
+		c.wire.probed = true
+		if h.WireAddr == "" {
+			c.wire.off = true
+			return nil
+		}
+		addr = h.WireAddr
+	}
+	resolved, err := c.resolveWireAddr(addr)
+	if err != nil {
+		c.wire.off = true
+		return nil
+	}
+	c.wire.pool = wire.NewPool(resolved)
+	return c.wire.pool
+}
+
+// resolveWireAddr fills a wildcard or empty host (":8345", "[::]:8345")
+// from the HTTP base URL — servers advertise their listen address,
+// which often names no reachable host.
+func (c *Client) resolveWireAddr(addr string) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", err
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		if u, uerr := url.Parse(c.base); uerr == nil && u.Hostname() != "" {
+			host = u.Hostname()
+		} else {
+			host = "127.0.0.1"
+		}
+	}
+	return net.JoinHostPort(host, port), nil
+}
+
+// wireGet acquires a connection, translating failures into the right
+// demotion. ok=false means "fall back to JSON".
+func (c *Client) wireGet(ctx context.Context, p *wire.Pool) (*wire.Conn, bool, bool) {
+	conn, reused, err := p.Get(ctx)
+	if err != nil {
+		var ve *wire.VersionError
+		if errors.As(err, &ve) {
+			c.wireDisable()
+		} else {
+			c.wireDown()
+		}
+		c.wire.fallbacks.Add(1)
+		return nil, false, false
+	}
+	return conn, reused, true
+}
+
+func (c *Client) wireProtoErr(format string, args ...any) error {
+	return fmt.Errorf("service: %s: wire: %s", c.base, fmt.Sprintf(format, args...))
+}
+
+// wireErrFrom maps a wmErr frame back to the same *APIError the JSON
+// path would have produced.
+func (c *Client) wireErrFrom(body []byte) error {
+	var em wireErrMsg
+	if err := decodeMsg(body, &em); err != nil {
+		return c.wireProtoErr("bad error frame: %v", err)
+	}
+	return &APIError{Code: em.Code, Message: em.Message, Worker: c.base}
+}
+
+// appError wraps application-level stream errors (bad payload, wmErr)
+// so wireStream can tell them from transport faults: app errors
+// surface to the caller, transport faults fall back to JSON.
+type appError struct{ err error }
+
+func (e *appError) Error() string { return e.err.Error() }
+
+// wireCall performs one unary request. handled=false → use JSON.
+func (c *Client) wireCall(ctx context.Context, req byte, reqBody []byte) (byte, []byte, bool, error) {
+	p := c.wirePool(ctx)
+	if p == nil {
+		return 0, nil, false, nil
+	}
+	deadline := time.Now().Add(c.requestTimeout())
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, true, err
+		}
+		conn, reused, ok := c.wireGet(ctx, p)
+		if !ok {
+			return 0, nil, false, nil
+		}
+		stop := watchCtx(ctx, conn)
+		conn.SetDeadline(deadline)
+		err := conn.WriteFrame(req, reqBody)
+		var typ byte
+		var body []byte
+		if err == nil {
+			typ, body, err = conn.ReadFrame()
+		}
+		stop()
+		if err != nil {
+			p.Discard(conn)
+			if cerr := ctx.Err(); cerr != nil {
+				return 0, nil, true, cerr
+			}
+			if reused {
+				continue // stale keep-alive: retry once on a fresh dial
+			}
+			c.wireDown()
+			c.wire.fallbacks.Add(1)
+			return 0, nil, false, nil
+		}
+		p.Put(conn)
+		c.wire.calls.Add(1)
+		if typ == wmErr {
+			return 0, nil, true, c.wireErrFrom(body)
+		}
+		return typ, body, true, nil
+	}
+	// Both attempts rode stale pooled connections.
+	c.wireDown()
+	c.wire.fallbacks.Add(1)
+	return 0, nil, false, nil
+}
+
+// watchCtx severs the connection when ctx is canceled mid-IO, so wire
+// calls stay as context-responsive as HTTP ones. The returned stop must
+// be called once the call's IO is done.
+func watchCtx(ctx context.Context, conn *wire.Conn) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// wireStream performs one streaming request: onFrame consumes frames
+// until it reports done. handled=false → restart the call over JSON.
+func (c *Client) wireStream(ctx context.Context, req byte, reqBody []byte, onFrame func(typ byte, body []byte) (bool, error)) (bool, error) {
+	p := c.wirePool(ctx)
+	if p == nil {
+		return false, nil
+	}
+	// Streams outlive the unary budget (a watch legitimately runs for a
+	// job's lifetime); the idle bound only catches dead peers.
+	idle := c.requestTimeout()
+	if idle < 15*time.Minute {
+		idle = 15 * time.Minute
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return true, err
+		}
+		conn, reused, ok := c.wireGet(ctx, p)
+		if !ok {
+			return false, nil
+		}
+		stop := watchCtx(ctx, conn)
+		gotFrames, err := c.runStream(conn, req, reqBody, idle, onFrame)
+		stop()
+		if err == nil {
+			if ctx.Err() != nil {
+				// The watchdog may have severed the conn at the same
+				// moment the stream finished; don't pool a dead conn.
+				p.Discard(conn)
+			} else {
+				p.Put(conn)
+			}
+			c.wire.calls.Add(1)
+			return true, nil
+		}
+		p.Discard(conn)
+		var ae *appError
+		if errors.As(err, &ae) {
+			c.wire.calls.Add(1)
+			return true, ae.err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return true, cerr
+		}
+		if reused && !gotFrames {
+			continue // stale keep-alive died before the stream started
+		}
+		c.wireDown()
+		c.wire.fallbacks.Add(1)
+		return false, nil
+	}
+	c.wireDown()
+	c.wire.fallbacks.Add(1)
+	return false, nil
+}
+
+// runStream writes the request and pumps response frames through
+// onFrame. Transport errors come back bare; handler errors wrapped in
+// *appError.
+func (c *Client) runStream(conn *wire.Conn, req byte, reqBody []byte, idle time.Duration, onFrame func(byte, []byte) (bool, error)) (bool, error) {
+	conn.SetDeadline(time.Now().Add(c.requestTimeout()))
+	if err := conn.WriteFrame(req, reqBody); err != nil {
+		return false, err
+	}
+	got := false
+	for {
+		conn.SetDeadline(time.Now().Add(idle))
+		typ, body, err := conn.ReadFrame()
+		if err != nil {
+			return got, err
+		}
+		got = true
+		done, err := onFrame(typ, body)
+		if err != nil {
+			return got, &appError{err: err}
+		}
+		if done {
+			conn.SetDeadline(time.Time{})
+			return got, nil
+		}
+	}
+}
+
+// ---- Wire-first call implementations ---------------------------------
+
+func (c *Client) decodeWireStatus(typ byte, body []byte) (JobStatus, error) {
+	if typ != wmStatus {
+		return JobStatus{}, c.wireProtoErr("unexpected frame type %#x, want status", typ)
+	}
+	var ws wireStatus
+	if err := decodeMsg(body, &ws); err != nil {
+		return JobStatus{}, c.wireProtoErr("bad status frame: %v", err)
+	}
+	return ws.status(), nil
+}
+
+func (c *Client) wireSubmit(ctx context.Context, spec JobSpec) (JobStatus, bool, error) {
+	typ, body, handled, err := c.wireCall(ctx, wmSubmit, encodeMsg(wireJobSpec{Spec: spec}))
+	if !handled || err != nil {
+		return JobStatus{}, handled, err
+	}
+	st, err := c.decodeWireStatus(typ, body)
+	return st, true, err
+}
+
+func (c *Client) wireJob(ctx context.Context, id string) (JobStatus, bool, error) {
+	typ, body, handled, err := c.wireCall(ctx, wmJob, encodeMsg(wireRef{Ref: id}))
+	if !handled || err != nil {
+		return JobStatus{}, handled, err
+	}
+	st, err := c.decodeWireStatus(typ, body)
+	return st, true, err
+}
+
+func (c *Client) wireResult(ctx context.Context, hash string) (sim.Result, bool, bool, error) {
+	typ, body, handled, err := c.wireCall(ctx, wmResult, encodeMsg(wireRef{Ref: hash}))
+	if !handled {
+		return sim.Result{}, false, false, nil
+	}
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Code == 404 {
+			return sim.Result{}, false, true, nil
+		}
+		return sim.Result{}, false, true, err
+	}
+	if typ != wmResultPayload {
+		return sim.Result{}, false, true, c.wireProtoErr("unexpected frame type %#x, want result", typ)
+	}
+	var rm wireResultMsg
+	if err := decodeMsg(body, &rm); err != nil {
+		return sim.Result{}, false, true, c.wireProtoErr("bad result frame: %v", err)
+	}
+	return rm.Result, rm.Found, true, nil
+}
+
+func (c *Client) wireWatch(ctx context.Context, id string, onProgress func(sim.Progress)) (JobStatus, bool, error) {
+	var final JobStatus
+	sawFinal := false
+	handled, err := c.wireStream(ctx, wmWatch, encodeMsg(wireRef{Ref: id}), func(typ byte, body []byte) (bool, error) {
+		switch typ {
+		case wmProgress:
+			var pr sim.Progress
+			if err := decodeMsg(body, &pr); err != nil {
+				return true, c.wireProtoErr("bad progress frame: %v", err)
+			}
+			if onProgress != nil {
+				onProgress(pr)
+			}
+			return false, nil
+		case wmStatus:
+			st, err := c.decodeWireStatus(typ, body)
+			if err != nil {
+				return true, err
+			}
+			final, sawFinal = st, true
+			return true, nil
+		case wmErr:
+			return true, c.wireErrFrom(body)
+		default:
+			return true, c.wireProtoErr("unexpected frame type %#x in watch stream", typ)
+		}
+	})
+	if !handled || err != nil {
+		return JobStatus{}, handled, err
+	}
+	if !sawFinal {
+		return JobStatus{}, true, c.wireProtoErr("watch stream ended without a terminal status")
+	}
+	return final, true, nil
+}
+
+func (c *Client) wireBatch(ctx context.Context, spec BatchSpec, onPoint func(BatchPoint)) (BatchResult, bool, error) {
+	pts := make([]BatchPoint, len(spec.Specs))
+	seen := make([]bool, len(spec.Specs))
+	count := 0
+	var res BatchResult
+	sawDone := false
+	handled, err := c.wireStream(ctx, wmBatch, encodeMsg(wireBatchSpec{Specs: spec.Specs}), func(typ byte, body []byte) (bool, error) {
+		switch typ {
+		case wmPoint:
+			var wp wirePoint
+			if err := decodeMsg(body, &wp); err != nil {
+				return true, c.wireProtoErr("bad point frame: %v", err)
+			}
+			if wp.Index < 0 || wp.Index >= len(pts) {
+				return true, c.wireProtoErr("point index %d out of range", wp.Index)
+			}
+			// Metrics are derived client-side: same deterministic function
+			// the server's JSON path uses, so both paths are byte-identical.
+			pt := BatchPoint{Index: wp.Index, Worker: wp.Worker, Status: PayloadFor(wp.Status.status())}
+			if !seen[wp.Index] {
+				seen[wp.Index] = true
+				count++
+			}
+			pts[wp.Index] = pt
+			if onPoint != nil {
+				onPoint(pt)
+			}
+			return false, nil
+		case wmBatchDone:
+			var bd wireBatchDone
+			if err := decodeMsg(body, &bd); err != nil {
+				return true, c.wireProtoErr("bad batch-done frame: %v", err)
+			}
+			res = BatchResult{Points: pts, Failed: bd.Failed}
+			sawDone = true
+			return true, nil
+		case wmErr:
+			return true, c.wireErrFrom(body)
+		default:
+			return true, c.wireProtoErr("unexpected frame type %#x in batch stream", typ)
+		}
+	})
+	if !handled || err != nil {
+		return BatchResult{}, handled, err
+	}
+	if !sawDone || count != len(pts) {
+		return BatchResult{}, true, c.wireProtoErr("batch stream delivered %d/%d points", count, len(pts))
+	}
+	return res, true, nil
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"errors"
+	"sort"
 	"sync"
 	"time"
 )
@@ -24,6 +25,19 @@ type WarmStats struct {
 	// checkpoint instead.
 	WarmupCyclesSimulated uint64 `json:"warmup_cycles_simulated"`
 	WarmupCyclesReused    uint64 `json:"warmup_cycles_reused"`
+	// Installed counts checkpoints published from outside the store —
+	// transferred from a peer worker instead of simulated locally.
+	Installed uint64 `json:"installed"`
+}
+
+// WarmBackend persists warm checkpoints beyond the in-memory cache —
+// a content-addressed blob store (internal/blob) in production. The
+// store consults it on a cache miss and writes published checkpoints
+// through to it. Implementations must be safe for concurrent use.
+type WarmBackend interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, data []byte) error
+	Keys() []string
 }
 
 // WarmStore caches warmup-end checkpoints keyed by WarmKey, so a sweep
@@ -35,6 +49,7 @@ type WarmStats struct {
 type WarmStore struct {
 	mu      sync.Mutex
 	max     int
+	backend WarmBackend // optional durable tier; nil = memory only
 	entries map[string][]byte
 	order   []string // insertion order, for bounded eviction
 	pending map[string]chan struct{}
@@ -44,11 +59,20 @@ type WarmStore struct {
 // NewWarmStore returns a store retaining at most max checkpoints
 // (default 16 when max <= 0).
 func NewWarmStore(max int) *WarmStore {
+	return NewWarmStoreBacked(max, nil)
+}
+
+// NewWarmStoreBacked returns a store layered over a durable backend:
+// misses fall through to it before simulating, and published
+// checkpoints are written through so they survive restarts and can be
+// transferred to peers.
+func NewWarmStoreBacked(max int, backend WarmBackend) *WarmStore {
 	if max <= 0 {
 		max = 16
 	}
 	return &WarmStore{
 		max:     max,
+		backend: backend,
 		entries: make(map[string][]byte),
 		pending: make(map[string]chan struct{}),
 	}
@@ -64,6 +88,12 @@ func (ws *WarmStore) Stats() WarmStats {
 func (ws *WarmStore) put(key string, data []byte) {
 	ws.mu.Lock()
 	defer ws.mu.Unlock()
+	ws.putLocked(key, data, true)
+}
+
+// putLocked inserts under mu. spill=false for promotions of entries the
+// backend already holds (no point writing them back).
+func (ws *WarmStore) putLocked(key string, data []byte, spill bool) {
 	if _, ok := ws.entries[key]; ok {
 		return
 	}
@@ -73,6 +103,70 @@ func (ws *WarmStore) put(key string, data []byte) {
 	}
 	ws.entries[key] = data
 	ws.order = append(ws.order, key)
+	if spill && ws.backend != nil {
+		// Best effort: a full or failing blob store degrades durability
+		// and transfer, never the simulation itself.
+		_ = ws.backend.Put(key, data)
+	}
+}
+
+// lookupLocked returns the checkpoint from memory or, failing that, the
+// backend (promoting backend hits into the memory tier).
+func (ws *WarmStore) lookupLocked(key string) ([]byte, bool) {
+	if data, ok := ws.entries[key]; ok {
+		return data, true
+	}
+	if ws.backend != nil {
+		if data, ok := ws.backend.Get(key); ok {
+			ws.putLocked(key, data, false)
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// Install publishes a checkpoint transferred from a peer (see
+// /v1/checkpoints/{digest}): it satisfies future runs exactly like a
+// locally simulated warmup and wakes any single-flight waiters, which
+// then restore instead of warming. The caller is responsible for
+// validating the bytes first.
+func (ws *WarmStore) Install(key string, data []byte) {
+	ws.mu.Lock()
+	ws.putLocked(key, data, true)
+	ws.stats.Installed++
+	ws.mu.Unlock()
+	// Waking waiters is safe even while a leader is mid-warmup: retries
+	// find the entry and restore; the leader's own publish is a no-op.
+	ws.release(key)
+}
+
+// Checkpoint returns the stored warm checkpoint for key, if any.
+func (ws *WarmStore) Checkpoint(key string) ([]byte, bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.lookupLocked(key)
+}
+
+// Keys lists every warm key currently satisfiable — the memory tier
+// plus the backend — sorted, for heartbeat advertisement.
+func (ws *WarmStore) Keys() []string {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	set := make(map[string]struct{}, len(ws.entries))
+	for k := range ws.entries {
+		set[k] = struct{}{}
+	}
+	if ws.backend != nil {
+		for _, k := range ws.backend.Keys() {
+			set[k] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // release wakes any waiters for key's in-flight warmup. Idempotent.
@@ -136,7 +230,7 @@ func (ws *WarmStore) RunWithHooks(cfg Config, h Hooks) (Result, error) {
 
 	for {
 		ws.mu.Lock()
-		if data, ok := ws.entries[key]; ok {
+		if data, ok := ws.lookupLocked(key); ok {
 			ws.stats.Hits++
 			ws.stats.WarmupCyclesReused += cfg.WarmupCycles
 			ws.mu.Unlock()

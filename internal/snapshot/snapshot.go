@@ -131,6 +131,13 @@ func (w *Writer) Section(name string) {
 // Len returns the current body size in bytes.
 func (w *Writer) Len() int { return w.buf.Len() }
 
+// Body returns the accumulated body bytes without the container header.
+// The slice aliases the writer's buffer: it is valid until the next
+// write and must not be mutated. Transports that carry their own
+// framing (internal/wire) embed bodies directly instead of paying for
+// the full container of Flush.
+func (w *Writer) Body() []byte { return w.buf.Bytes() }
+
 // Flush frames the accumulated body and writes the full snapshot to out.
 func (w *Writer) Flush(out io.Writer) error {
 	body := w.buf.Bytes()
@@ -329,6 +336,12 @@ func (r *Reader) Section(name string) {
 		r.Failf("section order: have %q, want %q", got, name)
 	}
 }
+
+// NewBodyReader returns a reader over bare body bytes produced by
+// Writer.Body — no container header, no CRC. The caller's transport is
+// responsible for integrity (internal/wire frames carry their own CRC).
+// The reader aliases data; the slice must stay immutable while read.
+func NewBodyReader(data []byte) *Reader { return &Reader{data: data} }
 
 // Finish returns the sticky error, or an error if unread body bytes
 // remain (a layout mismatch that happened to stay in bounds).
