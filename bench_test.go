@@ -19,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	"bump/internal/sim"
 	"bump/internal/stats"
 )
 
@@ -305,6 +306,74 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(allocsPerEvent, "allocs/event")
 		writeBenchJSON(b, eventsPerSec, allocsPerEvent, events)
 	}
+}
+
+// BenchmarkForkSweep measures the checkpoint-tree sweep economics: a
+// 16-point fairness-cap sweep with one mid-measurement cut, where every
+// point restores the shared trunk and simulates only its branch tail.
+// It reports trunk vs branch cycles simulated and the speedup over the
+// equivalent 16 cold sequential runs, and records them as a
+// machine-readable artifact when BENCH_JSON names a path.
+func BenchmarkForkSweep(b *testing.B) {
+	base := DefaultConfig(MechBuMP, WebSearch())
+	base.WarmupCycles = 100_000
+	base.MeasureCycles = 400_000
+	cut := base.WarmupCycles + base.MeasureCycles/2
+	const points = 16
+
+	var st sim.WarmStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws := sim.NewWarmStore(8)
+		for cap := 0; cap < points; cap++ {
+			cfg := base
+			cfg.MaxRowHitStreak = cap
+			cfg.ForkAt = cut
+			cfg.ForkCycles = []uint64{cut}
+			if _, err := ws.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st = ws.Stats()
+	}
+	b.StopTimer()
+
+	trunk := st.WarmupCyclesSimulated + st.TrunkCyclesSimulated
+	branch := st.BranchCyclesSimulated
+	cold := uint64(points) * (base.WarmupCycles + base.MeasureCycles)
+	b.ReportMetric(float64(trunk), "trunkCycles")
+	b.ReportMetric(float64(branch), "branchCycles")
+	b.ReportMetric(float64(cold)/float64(trunk+branch), "xVsColdCycles")
+	writeForkSweepBenchJSON(b, st, trunk, branch, cold)
+}
+
+// writeForkSweepBenchJSON records the trunk-vs-branch sweep ledger as a
+// machine-readable artifact when BENCH_JSON names a path (CI uploads it
+// per commit as BENCH_forksweep.json).
+func writeForkSweepBenchJSON(b *testing.B, st sim.WarmStats, trunk, branch, cold uint64) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		return
+	}
+	payload := map[string]any{
+		"benchmark":               "ForkSweep",
+		"iterations":              b.N,
+		"trunk_cycles_simulated":  trunk,
+		"branch_cycles_simulated": branch,
+		"cold_equivalent_cycles":  cold,
+		"cycle_speedup_vs_cold":   float64(cold) / float64(trunk+branch),
+		"warm":                    st,
+		"ns_per_op":               float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		"gomaxprocs":              runtime.GOMAXPROCS(0),
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatalf("marshal bench json: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("write %s: %v", path, err)
+	}
+	b.Logf("wrote %s", path)
 }
 
 // writeBenchJSON records the throughput metrics as a machine-readable

@@ -82,6 +82,7 @@ func main() {
 		retainB   = flag.Int("retain-batches", 0, "completed sweeps retained with their points (0 = 64 default)")
 		wireAddr  = flag.String("wire-addr", ":8346", "binary wire protocol listen address (empty = HTTP/JSON only)")
 		jsonOnly  = flag.Bool("json-only", false, "talk HTTP/JSON to workers even when they advertise a wire listener")
+		replicas  = flag.Int("replicas", 0, "workers kept holding each warm checkpoint and tree node (0 = 2: owner plus failover target)")
 	)
 	flag.Func("worker", "bumpd worker base URL (repeatable)", func(url string) error {
 		workerURLs = append(workerURLs, url)
@@ -110,6 +111,7 @@ func main() {
 		CompactEvery:  *compactN,
 		RetainJobs:    *retainJ,
 		RetainBatches: *retainB,
+		Replicas:      *replicas,
 	})
 	if err != nil {
 		log.Fatalf("bumpctl: %v", err)

@@ -63,7 +63,7 @@ func main() {
 		interval = flag.Uint64("progress-interval", 0, "cycles between progress events (0 = 1/64 of each run)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		warm     = flag.Bool("warm", false, "share warmup-end checkpoints between jobs that differ only in measured parameters")
-		warmSz   = flag.Int("warm-cache", 16, "warm-checkpoint cache entries (with -warm)")
+		warmSz   = flag.Int("warm-cache", 64, "warm-checkpoint cache entries (with -warm); fork sweeps hold a tree node per cut alongside the warmup roots, so keep this above cuts x structural variants")
 		warmDir  = flag.String("warm-dir", "", "content-addressed checkpoint store directory (implies -warm; checkpoints survive restarts and transfer to peers)")
 		warmDisk = flag.Int64("warm-disk-bytes", blob.DefaultCapacity, "checkpoint store size bound in bytes (with -warm-dir)")
 		wireAddr = flag.String("wire-addr", ":8345", "binary wire protocol listen address (empty = HTTP/JSON only)")

@@ -16,7 +16,11 @@
 // sweep points whose configurations differ only in measured parameters:
 // the fairness mode's sixteen row-hit-streak caps then simulate one
 // warmup total instead of sixteen. (Against a -server, enable warm
-// starts on bumpd instead.)
+// starts on bumpd instead.) Adding -fork-at pushes the shared prefix
+// past the warmup boundary: the listed cycles become checkpoint-tree
+// cuts on the canonical trunk, every fairness point defers its cap to
+// the deepest cut, and the sweep costs one trunk plus sixteen short
+// branch tails instead of sixteen full measurement windows.
 //
 // Usage:
 //
@@ -24,6 +28,7 @@
 //	sweep -mode design   > design.csv
 //	sweep -mode seeds -workload web-search -n 5 > seeds.csv
 //	sweep -mode fairness -workload web-search -warm > fairness.csv
+//	sweep -mode fairness -workload web-search -warm -fork-at 1200000,1600000 > fairness.csv
 //	sweep -mode systems -server http://localhost:8344 > systems.csv
 //	sweep -mode fairness -server http://host1:8344,http://host2:8344,http://host3:8344 > fairness.csv
 //	sweep -mode scenarios > scenarios.csv      # built-in scenario library
@@ -156,9 +161,29 @@ func main() {
 		measure      = flag.Uint64("measure", 1_500_000, "measurement cycles")
 		server       = flag.String("server", "", "bumpd/bumpctl base URL, or a comma-separated bumpd worker list to coordinate in-process; empty runs fully in-process")
 		warm         = flag.Bool("warm", false, "share warmup-end checkpoints between in-process sweep points that differ only in measured parameters")
+		forkAt       = flag.String("fork-at", "", "comma-separated absolute cycles inside the measurement window where -mode fairness points fork from a shared canonical trunk (deepest cut binds the streak cap; implies deferred measured parameters)")
 		jsonOnly     = flag.Bool("json-only", false, "talk HTTP/JSON to -server even when it advertises a binary wire listener")
 	)
 	flag.Parse()
+
+	// -fork-at: parse the checkpoint-tree cut list once, up front, so a
+	// malformed list fails before any simulation runs.
+	var forkCuts []uint64
+	if *forkAt != "" {
+		for _, part := range strings.Split(*forkAt, ",") {
+			cut, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+			if err != nil {
+				fatal(fmt.Errorf("-fork-at %q: %v", part, err))
+			}
+			if cut <= *warmup || cut >= *warmup+*measure {
+				fatal(fmt.Errorf("-fork-at %d is outside the measurement window (%d, %d)", cut, *warmup, *warmup+*measure))
+			}
+			if len(forkCuts) > 0 && cut <= forkCuts[len(forkCuts)-1] {
+				fatal(fmt.Errorf("-fork-at cuts must be strictly increasing"))
+			}
+			forkCuts = append(forkCuts, cut)
+		}
+	}
 
 	var pool *service.Pool
 	var coord *cluster.Coordinator
@@ -367,6 +392,13 @@ func main() {
 		for cap := 0; cap < 16; cap++ {
 			spec := point()
 			spec.MaxRowHitStreak = cap
+			if len(forkCuts) > 0 {
+				// Defer the cap to the deepest cut: all sixteen points
+				// share the canonical trunk through that cycle, so the
+				// sweep costs one trunk plus sixteen short branch tails.
+				spec.ForkCycles = forkCuts
+				spec.ForkAt = forkCuts[len(forkCuts)-1]
+			}
 			specs = append(specs, spec)
 		}
 		results, err := run.runAll(specs)
@@ -389,6 +421,11 @@ func main() {
 			st := pool.Stats()
 			fmt.Fprintf(os.Stderr, "sweep: warm checkpoints: %d simulated / %d reused warmup cycles (%d hits, %d misses)\n",
 				st.Warm.WarmupCyclesSimulated, st.Warm.WarmupCyclesReused, st.Warm.Hits, st.Warm.Misses)
+			if len(forkCuts) > 0 {
+				fmt.Fprintf(os.Stderr, "sweep: checkpoint tree: %d trunk / %d branch cycles simulated, %d fork cycles reused (%d fork hits, %d tree builds)\n",
+					st.Warm.TrunkCyclesSimulated, st.Warm.BranchCyclesSimulated,
+					st.Warm.ForkCyclesReused, st.Warm.ForkHits, st.Warm.ForkMisses)
+			}
 		}
 	case "seeds":
 		point := pointSpec(*workloadName, scenarioLabel, baseSpec, applyScenario)

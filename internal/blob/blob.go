@@ -242,6 +242,26 @@ func (s *Store) dropLocked(key string, e *entry) {
 	os.Remove(s.path(key))
 }
 
+// Delete removes a blob out of LRU order — the warm store's poisoning
+// path: bytes whose restore failed must not satisfy any future Get. A
+// blob still streaming to a reader is marked dead and its file removed
+// when the last reader closes, like an eviction.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.dead {
+		return
+	}
+	s.bytes -= e.size
+	if e.refs > 0 {
+		e.dead = true
+		return
+	}
+	delete(s.entries, key)
+	os.Remove(s.path(key))
+}
+
 // Get returns the blob's bytes.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()

@@ -45,6 +45,13 @@ type Options struct {
 	// (default 250ms). A job is never failed for lack of workers — it
 	// waits out the outage.
 	RetryInterval time.Duration
+	// Replicas is how many leading routable ring successors the
+	// background replicator keeps supplied per advertised checkpoint
+	// digest — warm roots and checkpoint-tree nodes alike (default 2:
+	// the owner plus its exact failover target). Larger fleets sweeping
+	// deep fork trees can raise it to survive multi-worker loss at the
+	// cost of proportional transfer traffic.
+	Replicas int
 }
 
 // Coordinator federates the fleet behind the single-worker /v1 API plus
@@ -97,6 +104,9 @@ func New(ctx context.Context, opts Options) (*Coordinator, error) {
 	}
 	if opts.RetainBatches <= 0 {
 		opts.RetainBatches = 64
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = defaultReplicaTargets
 	}
 	store, err := OpenStore(StoreOptions{Dir: opts.DataDir, WAL: opts.WAL, CompactEvery: opts.CompactEvery})
 	if err != nil {

@@ -187,10 +187,11 @@ func (c *Coordinator) WireWatch(ctx context.Context, id string, onProgress func(
 // warmup simulation the transfer replaces.
 const prefetchTimeout = 15 * time.Second
 
-// replicaTargets is how many leading routable ring successors
-// ReplicateOnce keeps supplied per digest: the second is exactly the
-// failover target if the first (the affinity owner) dies.
-const replicaTargets = 2
+// defaultReplicaTargets is how many leading routable ring successors
+// ReplicateOnce keeps supplied per digest when Options.Replicas is
+// unset: the second is exactly the failover target if the first (the
+// affinity owner) dies.
+const defaultReplicaTargets = 2
 
 // replicateMemo is how long a (worker, digest) replication attempt is
 // remembered before it may be retried.
@@ -216,8 +217,10 @@ func (c *Coordinator) prefetchCheckpoint(ctx context.Context, w *Worker, key str
 	}
 }
 
-// ReplicateOnce pushes every advertised warm-checkpoint digest onto the
-// first replicaTargets routable workers of its ring sequence, so the
+// ReplicateOnce pushes every advertised warm-checkpoint digest —
+// warmup-end roots and mid-measurement checkpoint-tree nodes are
+// indistinguishable here, both being content-addressed blobs — onto the
+// first Options.Replicas routable workers of its ring sequence, so the
 // digest's failover target already holds the warm state before the
 // owner dies. Returns the number of successful transfers.
 func (c *Coordinator) ReplicateOnce(ctx context.Context) int {
@@ -226,7 +229,7 @@ func (c *Coordinator) ReplicateOnce(ctx context.Context) int {
 	for _, key := range c.reg.CheckpointKeys() {
 		placed := 0
 		for _, url := range c.reg.Ring().Sequence(key) {
-			if placed >= replicaTargets {
+			if placed >= c.opts.Replicas {
 				break
 			}
 			w, ok := c.reg.WorkerByURL(url)

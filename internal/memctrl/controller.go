@@ -193,6 +193,13 @@ func (c *Controller) Mapper() *Mapper { return c.mapper }
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// SetMaxRowHitStreak rebinds the fairness cap mid-run. The cap is
+// consulted only at scheduler pick time, so rebinding at an event
+// boundary is exact: checkpoint-tree forking builds the controller with
+// the canonical (zero) cap, restores shared trunk state, then binds the
+// swept value at the fork cycle.
+func (c *Controller) SetMaxRowHitStreak(n int) { c.cfg.MaxRowHitStreak = n }
+
 // QueueLen returns the total queued transactions (reads+writes) across
 // channels; the simulator uses it for backpressure decisions.
 func (c *Controller) QueueLen() int {

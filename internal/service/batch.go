@@ -3,7 +3,10 @@ package service
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
+
+	"bump/internal/sim"
 )
 
 // BatchSpec is the wire format of POST /v1/batch: a whole sweep in one
@@ -53,6 +56,58 @@ func (r BatchResult) Results() ([]JobPayload, error) {
 // keeping a malformed request from exhausting memory).
 const MaxBatchPoints = 4096
 
+// planBatch returns the submission order for a batch: points are
+// grouped by the checkpoint-tree ancestor they restore — the structural
+// warm key plus the restore cut — with shallower cuts first within a
+// structural family. A sweep whose points fork from a shared trunk is
+// therefore dispatched trunk-prefix first: the single-flight warm store
+// sees the shallow builders lead and the branches park as waiters,
+// instead of an arbitrary point racing to rebuild an ancestor another
+// point is already simulating. Points with no warm identity (custom
+// streams, zero warmup) keep their relative order at the end. The
+// result is a permutation of spec indices; per-point results are still
+// reported by original index.
+func planBatch(spec BatchSpec) []int {
+	type pt struct {
+		idx  int
+		key  string // structural warm key; "" = not warm-cacheable
+		cut  uint64 // restore cut: max(WarmupCycles, ForkAt)
+		pri  int    // user priority, preserved as the leading sort key
+	}
+	pts := make([]pt, len(spec.Specs))
+	for i, s := range spec.Specs {
+		p := pt{idx: i, pri: s.Priority}
+		if cfg, err := s.Config(); err == nil {
+			if key, ok := sim.WarmKey(cfg); ok {
+				p.key = key
+				p.cut = cfg.WarmupCycles
+				if cfg.ForkAt > p.cut {
+					p.cut = cfg.ForkAt
+				}
+			}
+		}
+		pts[i] = p
+	}
+	sort.SliceStable(pts, func(a, b int) bool {
+		pa, pb := pts[a], pts[b]
+		if pa.pri != pb.pri {
+			return pa.pri > pb.pri
+		}
+		if (pa.key == "") != (pb.key == "") {
+			return pa.key != ""
+		}
+		if pa.key != pb.key {
+			return pa.key < pb.key
+		}
+		return pa.cut < pb.cut
+	})
+	order := make([]int, len(pts))
+	for i, p := range pts {
+		order[i] = p.idx
+	}
+	return order
+}
+
 // RunBatch executes every point of a batch on the pool, invoking
 // onPoint (which may be nil) from a single goroutine as each point
 // completes, and returns the aggregate in submission order. Duplicate
@@ -71,9 +126,11 @@ func RunBatch(ctx context.Context, p *Pool, spec BatchSpec, onPoint func(BatchPo
 	res := BatchResult{Points: make([]BatchPoint, len(spec.Specs))}
 	// Submit everything up front so the queue sees the whole sweep
 	// (coalescing duplicates), then wait per point concurrently.
+	// Submission order groups points by shared checkpoint-tree ancestor
+	// (see planBatch); results stay indexed by the caller's order.
 	ids := make([]string, len(spec.Specs))
-	for i, s := range spec.Specs {
-		st, err := p.Submit(s)
+	for _, i := range planBatch(spec) {
+		st, err := p.Submit(spec.Specs[i])
 		if err != nil {
 			return BatchResult{}, fmt.Errorf("service: batch point %d: %w", i, err)
 		}

@@ -1,0 +1,43 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPlanBatchGroupsByAncestor: submission order groups points by
+// their checkpoint-tree ancestor, shallower restore cuts first within a
+// structural family, with user priority still the leading key and
+// non-cacheable points trailing in their original relative order.
+func TestPlanBatchGroupsByAncestor(t *testing.T) {
+	base := JobSpec{Workload: "web-search", Mechanism: "bump",
+		WarmupCycles: 60_000, MeasureCycles: 120_000}
+	deep := base
+	deep.MaxRowHitStreak = 3
+	deep.ForkAt = 120_000
+	deep.ForkCycles = []uint64{120_000}
+	deep2 := deep
+	deep2.MaxRowHitStreak = 7
+	cold := base
+	cold.WarmupCycles = 0 // no warm identity
+
+	spec := BatchSpec{Specs: []JobSpec{deep, cold, base, deep2}}
+	got := planBatch(spec)
+	// Root-cut point (base, index 2) leads its family; the two deep
+	// forks follow in submission order; the uncacheable point trails.
+	want := []int{2, 0, 3, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("planBatch order %v, want %v", got, want)
+	}
+
+	// Priority outranks grouping: a high-priority deep fork jumps the
+	// whole family.
+	urgent := deep
+	urgent.Priority = 5
+	spec = BatchSpec{Specs: []JobSpec{deep, base, urgent}}
+	got = planBatch(spec)
+	want = []int{2, 1, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("planBatch priority order %v, want %v", got, want)
+	}
+}

@@ -22,7 +22,8 @@ var ErrNotHashable = errors.New("service: config with custom Streams is not hash
 // returned across incompatible versions.
 // v2: sim.Config gained the Scenario field (walked canonically like the
 // rest of the structure).
-const hashVersion = "bump-config-v2"
+// v3: sim.Config gained ForkAt and ForkCycles (checkpoint-tree sweeps).
+const hashVersion = "bump-config-v3"
 
 // canonBuf holds the reusable scratch state of one canonical encoding:
 // the output bytes and the current field path. Hashing runs on every

@@ -37,6 +37,13 @@ type JobSpec struct {
 	WarmupCycles  uint64 `json:"warmup_cycles,omitempty"`
 	MeasureCycles uint64 `json:"measure_cycles,omitempty"`
 
+	// ForkAt defers the measured parameters (MaxRowHitStreak) to this
+	// absolute cycle; ForkCycles lists mid-measurement cuts where the
+	// canonical trunk publishes checkpoint-tree nodes. See
+	// sim.Config.ForkAt / sim.Config.ForkCycles.
+	ForkAt     uint64   `json:"fork_at,omitempty"`
+	ForkCycles []uint64 `json:"fork_cycles,omitempty"`
+
 	// Predictor and controller overrides (zero keeps the default).
 	RegionShift          uint `json:"region_shift,omitempty"`
 	DensityThreshold     uint `json:"density_threshold,omitempty"`
@@ -100,6 +107,8 @@ func (s JobSpec) Config() (sim.Config, error) {
 		cfg.BuMP.DensityThreshold = s.DensityThreshold
 	}
 	cfg.MaxRowHitStreak = s.MaxRowHitStreak
+	cfg.ForkAt = s.ForkAt
+	cfg.ForkCycles = s.ForkCycles
 	cfg.DisablePrefetcher = s.DisablePrefetcher
 	cfg.ForceBlockInterleave = s.ForceBlockInterleave
 	if err := cfg.Validate(); err != nil {

@@ -227,6 +227,10 @@ func (c *Client) wireCall(ctx context.Context, req byte, reqBody []byte) (byte, 
 			c.wire.fallbacks.Add(1)
 			return 0, nil, false, nil
 		}
+		// Clear the per-call deadline before pooling the conn: a stale
+		// deadline would fire mid-IO on whichever future call reuses it,
+		// surfacing as a spurious timeout long after this call returned.
+		conn.SetDeadline(time.Time{})
 		p.Put(conn)
 		c.wire.calls.Add(1)
 		if typ == wmErr {

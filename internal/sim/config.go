@@ -136,6 +136,21 @@ type Config struct {
 	// Measurement windows in CPU cycles.
 	WarmupCycles  uint64
 	MeasureCycles uint64
+
+	// ForkAt, when non-zero, defers the *measured* parameters
+	// (MaxRowHitStreak): the run simulates the canonical zero-valued
+	// policy up to absolute cycle ForkAt and binds the configured values
+	// there, so every sibling of a checkpoint-tree sweep shares one
+	// trunk trajectory through ForkAt and diverges only in the tail.
+	// Must lie in [WarmupCycles, WarmupCycles+MeasureCycles). ForkAt ==
+	// WarmupCycles is exactly the classic functional-warmup methodology.
+	ForkAt uint64
+	// ForkCycles lists mid-measurement cut cycles (strictly increasing,
+	// each in (WarmupCycles, WarmupCycles+MeasureCycles)) at which a
+	// canonical trunk run publishes checkpoint-tree nodes via a
+	// WarmStore. The cuts never alter simulated behaviour — they only
+	// tell the store where future forks may restore.
+	ForkCycles []uint64
 }
 
 // DefaultConfig returns the paper's system (Table II) for the given
@@ -200,6 +215,20 @@ func (c Config) Validate() error {
 	}
 	if err := c.DRAM.Validate(); err != nil {
 		return err
+	}
+	total := c.WarmupCycles + c.MeasureCycles
+	if c.ForkAt != 0 && (c.ForkAt < c.WarmupCycles || c.ForkAt >= total) {
+		return fmt.Errorf("sim: ForkAt %d outside [WarmupCycles, WarmupCycles+MeasureCycles) = [%d, %d)",
+			c.ForkAt, c.WarmupCycles, total)
+	}
+	for i, cut := range c.ForkCycles {
+		if cut <= c.WarmupCycles || cut >= total {
+			return fmt.Errorf("sim: fork cycle %d outside (WarmupCycles, WarmupCycles+MeasureCycles) = (%d, %d)",
+				cut, c.WarmupCycles, total)
+		}
+		if i > 0 && cut <= c.ForkCycles[i-1] {
+			return fmt.Errorf("sim: fork cycles must be strictly increasing")
+		}
 	}
 	if c.Scenario.Enabled() {
 		if c.Streams != nil {

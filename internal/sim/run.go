@@ -233,6 +233,16 @@ type Hooks struct {
 	// not invoked on systems restored at or past the warmup boundary —
 	// their baseline was captured before the checkpoint.
 	AtWarmupEnd func() error
+	// AtCycles lists absolute engine cycles (sorted ascending, each
+	// inside the measurement window) at which AtCycle fires — the
+	// checkpoint-tree cut points. Cycles the system is already at or
+	// past are skipped: a restored system resumes beyond its own cut.
+	AtCycles []uint64
+	// AtCycle, if non-nil, runs when the engine reaches each AtCycles
+	// entry, after every event before the cut has dispatched and before
+	// any event at or after it. The checkpoint tree uses it to snapshot
+	// trunk state mid-measurement. Returning an error aborts the run.
+	AtCycle func(cycle uint64) error
 }
 
 // stride returns the chunk size for hooked runs over `total` cycles.
@@ -316,6 +326,31 @@ func (s *System) RunWithHooks(h Hooks) (Result, error) {
 		s.baseTaken = true
 		if h.AtWarmupEnd != nil {
 			if err := h.AtWarmupEnd(); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	// Deferred measured parameters (Config.ForkAt) bind at the fork
+	// cycle: run canonically up to it, then apply the configured values.
+	// Splitting the window at the bind point dispatches the exact event
+	// sequence of an unsplit run (see runUntil), so a system restored
+	// from a trunk node at the fork cycle is byte-identical to this cold
+	// path.
+	if s.cfg.ForkAt > 0 && !s.measuredBound {
+		if err := s.runUntil(s.cfg.ForkAt, h, step, total); err != nil {
+			return Result{}, err
+		}
+		s.bindMeasured()
+	}
+	if h.AtCycle != nil {
+		for _, cut := range h.AtCycles {
+			if cut <= s.eng.Now() || cut >= total {
+				continue
+			}
+			if err := s.runUntil(cut, h, step, total); err != nil {
+				return Result{}, err
+			}
+			if err := h.AtCycle(cut); err != nil {
 				return Result{}, err
 			}
 		}

@@ -18,7 +18,10 @@ import (
 // Bump alongside snapshot.FormatVersion when restore semantics change.
 // v2: Config gained the Scenario field (covered by the digest walk), so
 // v1 checkpoints are rejected with a clear incompatibility error.
-const structuralDigestVersion = "bump-snapshot-struct-v2"
+// v3: ForkAt/ForkCycles joined MeasureCycles and MaxRowHitStreak as
+// measured (digest-excluded) parameters — a checkpoint-tree node is
+// shared across every fork schedule of the same structure.
+const structuralDigestVersion = "bump-snapshot-struct-v3"
 
 // Stable event-receiver references for the engine snapshot.
 const (
@@ -45,7 +48,59 @@ func structuralDigest(cfg Config) ([32]byte, error) {
 	}
 	c.MeasureCycles = 0
 	c.MaxRowHitStreak = 0
+	c.ForkAt = 0
+	c.ForkCycles = nil
 	return snapshot.CanonicalDigest(prefix, c)
+}
+
+// latePrefix names the measured-parameter trajectory the simulated
+// state has followed up to absolute cycle `at`: "" while every measured
+// parameter still held its canonical zero value (the shared trunk), or
+// the bound values and their bind cycle once they apply. Snapshots
+// embed it in their node metadata so a restore can refuse state whose
+// pre-cut trajectory diverges from what the target config would have
+// simulated.
+func latePrefix(cfg Config, at uint64) string {
+	if cfg.MaxRowHitStreak == 0 {
+		return ""
+	}
+	if cfg.ForkAt > 0 && at <= cfg.ForkAt {
+		return ""
+	}
+	bind := cfg.ForkAt
+	return fmt.Sprintf("streak=%d@%d", cfg.MaxRowHitStreak, bind)
+}
+
+// forkNodeVersion versions checkpoint-tree node keying. Bump alongside
+// structuralDigestVersion.
+const forkNodeVersion = "bump-warmtree-v1"
+
+// ForkNodeKey returns the checkpoint-tree node key for cfg's canonical
+// trunk at the given cut cycle. Cuts at or before the warmup boundary
+// collapse onto the tree root — the plain WarmKey — so warmup-end
+// checkpoints keep their established digest across replication,
+// heartbeat advertisement and the blob tier. Deeper nodes get their own
+// content address over (structural digest, cut). Keys are lowercase
+// hex, blob-store safe. ok is false when cfg is not warm-cacheable.
+func ForkNodeKey(cfg Config, cut uint64) (key string, ok bool) {
+	if cut <= cfg.WarmupCycles {
+		return WarmKey(cfg)
+	}
+	if cfg.Streams != nil || cfg.WarmupCycles == 0 {
+		return "", false
+	}
+	sd, err := structuralDigest(cfg)
+	if err != nil {
+		return "", false
+	}
+	d, err := snapshot.CanonicalDigest(forkNodeVersion, struct {
+		Structural [32]byte
+		Cut        uint64
+	}{sd, cut})
+	if err != nil {
+		return "", false
+	}
+	return hex.EncodeToString(d[:]), true
 }
 
 // WarmKey returns the warm-checkpoint cache key for cfg: configurations
@@ -113,6 +168,12 @@ func (s *System) writeState(w *snapshot.Writer) error {
 	if err != nil {
 		return fmt.Errorf("sim: snapshot: %w", err)
 	}
+	w.SetNodeMeta(snapshot.NodeMeta{
+		Structural: digest[:],
+		Cut:        s.eng.Now(),
+		ForkAt:     s.cfg.ForkAt,
+		Prefix:     latePrefix(s.cfg, s.eng.Now()),
+	})
 	w.Section("meta")
 	w.Bytes(digest[:])
 	w.U8(uint8(s.cfg.Mechanism))
@@ -264,6 +325,18 @@ func (s *System) readState(r *snapshot.Reader) error {
 	if string(got) != string(want[:]) {
 		return fmt.Errorf("sim: snapshot of %s/%s seed %d (%d cores, cycle %d) is structurally incompatible with this configuration",
 			Mechanism(mech), wl, seed, cores, cycle)
+	}
+	// A node cut past the warmup boundary has simulated part of the
+	// measurement window; its measured-parameter trajectory up to the
+	// cut must match what this configuration would itself have
+	// simulated. (Warmup-end checkpoints stay permissive: sharing them
+	// across measured-parameter changes is the documented functional-
+	// warmup methodology.)
+	if meta := r.NodeMeta(); meta.Cut > s.cfg.WarmupCycles {
+		if want := latePrefix(s.cfg, meta.Cut); meta.Prefix != want {
+			return fmt.Errorf("sim: checkpoint cut at cycle %d followed measured-parameter trajectory %q; this configuration expects %q",
+				meta.Cut, meta.Prefix, want)
+		}
 	}
 
 	if err := s.eng.Restore(r, s.decodeEventObj); err != nil {

@@ -127,6 +127,11 @@ type System struct {
 	// still reports exact measurement-window deltas.
 	base      snap
 	baseTaken bool
+	// measuredBound records that the deferred measured parameters
+	// (Config.ForkAt) have been applied. Derived from cfg and the engine
+	// clock, never serialized: a system built with ForkAt > 0 starts
+	// canonical and binds when the run reaches the fork cycle.
+	measuredBound bool
 }
 
 // New builds a system from cfg.
@@ -136,7 +141,15 @@ func New(cfg Config) (*System, error) {
 	}
 	eng := event.New()
 	d := dram.New(cfg.DRAM)
-	mc, err := memctrl.New(cfg.controllerConfig(), d, eng)
+	ctrlCfg := cfg
+	if cfg.ForkAt > 0 {
+		// Deferred measured parameters: the machine is built canonical
+		// (cap = 0) and bindMeasured applies the configured values when
+		// the run reaches the fork cycle, so the pre-fork trajectory is
+		// byte-shared with every sibling branch.
+		ctrlCfg.MaxRowHitStreak = 0
+	}
+	mc, err := memctrl.New(ctrlCfg.controllerConfig(), d, eng)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +165,8 @@ func New(cfg Config) (*System, error) {
 		regionShift: cfg.BuMP.RegionShift,
 		dirtyCount:  make(map[mem.RegionAddr]int),
 		freeWaiter:  -1,
+
+		measuredBound: cfg.ForkAt == 0,
 	}
 	mc.Handler = s.onMemComplete
 
@@ -218,6 +233,15 @@ func New(cfg Config) (*System, error) {
 
 // Engine exposes the event engine (tests drive it directly).
 func (s *System) Engine() *event.Engine { return s.eng }
+
+// bindMeasured applies the deferred measured parameters at the fork
+// cycle. The cap honours the same mechanism gating as construction:
+// close-row and forced-block-interleave controllers never see it, so
+// binding sets exactly the value a cold build of cfg would have used.
+func (s *System) bindMeasured() {
+	s.measuredBound = true
+	s.mc.SetMaxRowHitStreak(s.cfg.controllerConfig().MaxRowHitStreak)
+}
 
 // Predictor exposes the BuMP predictor, if the mechanism has one.
 func (s *System) Predictor() *core.Predictor { return s.bump }
