@@ -1,0 +1,218 @@
+package event
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The merge fuzzer drives the sharded runner with a synthetic component
+// fabric and checks it against the sequential engine as an oracle. Each
+// fhNode owns a Port and a running hash; dispatching an event mixes the
+// payload and cycle into the node's hash (order-sensitive per node),
+// folds an operation into a global accumulator (order-sensitive across
+// ALL shards — logged via Op during windows, exactly the simulator's
+// side-effect discipline), and pseudo-randomly posts follow-up events:
+// to itself at any distance (exercising the in-window local schedule and
+// the buffered replay insert), and to other nodes at >= lookahead
+// (exercising cross-shard hand-off). Any divergence in merge order,
+// sequence assignment or barrier placement shows up as a hash, seq,
+// Executed or pending-set mismatch.
+
+type fhSim struct {
+	eng    *Engine
+	nodes  []*fhNode
+	global uint64
+	look   uint64
+}
+
+type fhNode struct {
+	sim   *fhSim
+	id    int
+	shard int
+	port  *Port
+	hash  uint64
+}
+
+func fhMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h
+}
+
+// applyOp folds one operation into the global accumulator. Non-
+// commutative on purpose: applying the same multiset of ops in a
+// different order yields a different value.
+func (s *fhSim) applyOp(arg uint64) {
+	s.global = s.global*0x100000001b3 + arg
+}
+
+var fhH Handler
+
+func init() {
+	fhH = RegisterHandler("event.fuzz-merge", fhDispatch)
+}
+
+func fhDispatch(obj any, a0, a1 uint64) {
+	n := obj.(*fhNode)
+	s := n.sim
+	now := n.port.Now()
+	n.hash = fhMix(n.hash, fhMix(a0, now^a1))
+	op := uint64(n.id)<<48 ^ a0<<8 ^ now
+	if sr := n.port.Shard(); sr != nil {
+		sr.Op(1, op)
+	} else {
+		s.applyOp(op)
+	}
+	budget := a0 & 0xf
+	if budget == 0 {
+		return
+	}
+	h := n.hash
+	if h>>4&3 != 0 {
+		// Same-node follow-up at any distance: inside the window it runs
+		// on the shard's local schedule, beyond it it takes the buffered
+		// replay path.
+		dt := (h >> 8) % (2 * s.look)
+		n.port.Post(now+dt, fhH, n, h>>16<<4|(budget-1), a1+1)
+	}
+	if h>>6&3 != 0 {
+		// Cross-node follow-up, conservatively >= lookahead ahead — the
+		// promise every real component makes for cross-shard traffic.
+		tgt := s.nodes[(h>>16)%uint64(len(s.nodes))]
+		dt := s.look + (h>>24)%s.look
+		n.port.Post(now+dt, fhH, tgt, h>>20<<4|(budget-1), a1+1)
+	}
+}
+
+type fhEvent struct {
+	node int
+	at   uint64
+	a0   uint64
+}
+
+// fhParams decodes the fuzz input: a 3-byte header (shards, lookahead,
+// node count) followed by 4-byte initial-event records.
+func fhDecode(data []byte) (shards int, look uint64, nodes int, evs []fhEvent) {
+	if len(data) < 7 {
+		return 0, 0, 0, nil
+	}
+	shards = 2 + int(data[0])%7   // 2..8
+	look = 1 + uint64(data[1])%63 // 1..63
+	nodes = 1 + int(data[2])%24   // 1..24
+	for i := 3; i+4 <= len(data) && len(evs) < 64; i += 4 {
+		evs = append(evs, fhEvent{
+			node: int(data[i]) % nodes,
+			at:   uint64(data[i+1]) | uint64(data[i+2])<<4,
+			a0:   uint64(data[i+3])&^0xf | uint64(data[i+3])&0x3, // budget capped at 3
+		})
+	}
+	return
+}
+
+func fhBuild(shards int, look uint64, nodes int, evs []fhEvent) *fhSim {
+	s := &fhSim{eng: New(), look: look}
+	for i := 0; i < nodes; i++ {
+		n := &fhNode{sim: s, id: i, shard: i % shards, port: NewPort(s.eng), hash: uint64(i) * 0x9e3779b97f4a7c15}
+		s.nodes = append(s.nodes, n)
+	}
+	for _, ev := range evs {
+		s.eng.Post(ev.at, fhH, s.nodes[ev.node], ev.a0, 0)
+	}
+	return s
+}
+
+// fhUntil bounds the run: initial events land below 1<<12 and every
+// budget-3 chain adds at most 4 hops of < 2*lookahead cycles.
+func fhUntil(look uint64) uint64 { return 1<<12 + 8*look + 16 }
+
+// fhCheck runs the oracle and the sharded subject over identical inputs
+// and compares every observable: per-node hashes, the order-sensitive
+// global accumulator, engine clock/sequence/Executed, and the pending
+// multiset.
+func fhCheck(t *testing.T, data []byte) {
+	t.Helper()
+	shards, look, nodes, evs := fhDecode(data)
+	if shards == 0 || len(evs) == 0 {
+		return
+	}
+	oracle := fhBuild(shards, look, nodes, evs)
+	subject := fhBuild(shards, look, nodes, evs)
+
+	until := fhUntil(look)
+	oracle.eng.Run(until)
+
+	ports := make([]*Port, nodes)
+	binding := make([]int, nodes)
+	for i, n := range subject.nodes {
+		ports[i], binding[i] = n.port, n.shard
+	}
+	run := NewSharded(subject.eng, ShardedConfig{
+		Shards:    shards,
+		Lookahead: look,
+		Floor:     2,
+		Route:     func(obj any, _ uint64) int { return obj.(*fhNode).shard },
+		Local:     func(shard int, obj any) bool { return obj.(*fhNode).shard == shard },
+		Apply:     func(_ int, _ uint8, arg uint64) { subject.applyOp(arg) },
+		Ports:     ports,
+		Binding:   binding,
+	})
+	defer run.Stop()
+	run.Run(until)
+
+	if subject.global != oracle.global {
+		t.Fatalf("global accumulator diverged: %#x vs %#x (op apply order differs from sequential)", subject.global, oracle.global)
+	}
+	for i := range oracle.nodes {
+		if subject.nodes[i].hash != oracle.nodes[i].hash {
+			t.Fatalf("node %d hash diverged: %#x vs %#x", i, subject.nodes[i].hash, oracle.nodes[i].hash)
+		}
+	}
+	oe, se := oracle.eng, subject.eng
+	if se.now != oe.now || se.seq != oe.seq || se.Executed != oe.Executed {
+		t.Fatalf("engine state diverged: now %d/%d seq %d/%d executed %d/%d",
+			se.now, oe.now, se.seq, oe.seq, se.Executed, oe.Executed)
+	}
+	op, sp := oe.liveOrder(), se.liveOrder()
+	if len(op) != len(sp) {
+		t.Fatalf("pending count diverged: %d vs %d", len(sp), len(op))
+	}
+	for i := range op {
+		on, sn := &oe.nodes[op[i]], &se.nodes[sp[i]]
+		if on.at != sn.at || on.seq != sn.seq || on.a0 != sn.a0 || on.a1 != sn.a1 {
+			t.Fatalf("pending event %d diverged: (at=%d seq=%d a0=%#x) vs (at=%d seq=%d a0=%#x)",
+				i, sn.at, sn.seq, sn.a0, on.at, on.seq, on.a0)
+		}
+	}
+}
+
+// FuzzParallelMerge fuzzes the barrier/merge scheduler with random
+// shard counts, lookaheads, topologies and event timings; the property
+// is exact equality with the sequential oracle on every observable.
+func FuzzParallelMerge(f *testing.F) {
+	// Seed corpus: one dense multi-shard mix, a 2-shard minimum, a
+	// single-node self-feeding chain, a lookahead-1 stress, and a burst
+	// of same-cycle events (the tie-break path).
+	f.Add([]byte{3, 4, 11, 0, 10, 1, 0x33, 1, 20, 2, 0x17, 5, 0, 3, 0x2f, 9, 200, 0, 0x43, 7, 64, 1, 0x11})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0x03})
+	f.Add([]byte{6, 62, 0, 0, 1, 0, 0x73, 0, 1, 0, 0x72})
+	f.Add([]byte{1, 0, 7, 2, 5, 0, 0xff, 3, 5, 0, 0xfe, 4, 5, 0, 0xfd})
+	f.Add([]byte{5, 9, 23, 0, 8, 0, 0x63, 1, 8, 0, 0x62, 2, 8, 0, 0x61, 3, 8, 0, 0x60, 4, 8, 0, 0x5f})
+	f.Fuzz(fhCheck)
+}
+
+// TestParallelMergeSeeds pins the fuzz seeds as a plain deterministic
+// test (and names the property in ordinary test runs, where fuzz
+// targets only execute their corpus).
+func TestParallelMergeSeeds(t *testing.T) {
+	seeds := [][]byte{
+		{3, 4, 11, 0, 10, 1, 0x33, 1, 20, 2, 0x17, 5, 0, 3, 0x2f, 9, 200, 0, 0x43, 7, 64, 1, 0x11},
+		{0, 0, 0, 0, 0, 0, 0x03},
+		{6, 62, 0, 0, 1, 0, 0x73, 0, 1, 0, 0x72},
+		{1, 0, 7, 2, 5, 0, 0xff, 3, 5, 0, 0xfe, 4, 5, 0, 0xfd},
+		{5, 9, 23, 0, 8, 0, 0x63, 1, 8, 0, 0x62, 2, 8, 0, 0x61, 3, 8, 0, 0x60, 4, 8, 0, 0x5f},
+	}
+	for i, s := range seeds {
+		t.Run(fmt.Sprint(i), func(t *testing.T) { fhCheck(t, s) })
+	}
+}

@@ -1,0 +1,687 @@
+package event
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the deterministic parallel execution mode of the
+// engine: conservative-lookahead windows peeled off the single global
+// timing wheel, executed concurrently by per-shard mini-schedulers, then
+// committed back through a single-threaded sequencer replay that
+// reproduces the sequential engine's global sequence numbers exactly.
+//
+// The invariants that make a parallel run byte-identical to the
+// sequential one:
+//
+//   - A window [T0, Tend) never exceeds the lookahead L, and components
+//     guarantee every cross-shard event is posted at least L cycles
+//     ahead. Within a window each shard therefore only dispatches its
+//     own peeled events plus its own same-shard posts — no cross-shard
+//     communication happens inside a window.
+//   - Peeled events keep their real sequence numbers; events posted
+//     during a window get provisional keys that are resolved to real
+//     sequence numbers during replay. Any post's final sequence number
+//     exceeds every peeled event's, and within one shard posting order
+//     equals sequential posting order, so ordering peeled-before-
+//     provisional and provisional-by-post-order inside a shard is exact.
+//   - The replay walks all shards' dispatch logs in (cycle, sequence)
+//     order — the sequential dispatch order — assigning e.seq++ to each
+//     logged post exactly where the sequential run would have, and
+//     applying logged side-effect operations (Apply) in that order. The
+//     engine's clock, sequence counter, Executed count and pending-event
+//     multiset after the barrier are those of the sequential run.
+type Sink interface {
+	// Now returns the current cycle as seen by the posting component.
+	Now() uint64
+	// Post schedules h(obj, a0, a1) at absolute cycle t (clamped to Now).
+	Post(t uint64, h Handler, obj any, a0, a1 uint64)
+	// PostAfter schedules h(obj, a0, a1) d cycles from Now.
+	PostAfter(d uint64, h Handler, obj any, a0, a1 uint64)
+}
+
+var (
+	_ Sink = (*Engine)(nil)
+	_ Sink = (*Port)(nil)
+	_ Sink = (*ShardRun)(nil)
+)
+
+// Port is a component's stable posting endpoint. Outside parallel
+// windows it forwards to the engine; during a parallel window the
+// runner binds it to the executing shard. Components hold Ports for the
+// lifetime of the system, so the same component code runs unmodified in
+// sequential and parallel mode.
+type Port struct {
+	eng *Engine
+	sr  *ShardRun
+	// Tag is free for the owning simulator; the sharded runner sets it
+	// to the port's shard index.
+	Tag int
+}
+
+// NewPort returns a port bound to e, in sequential (pass-through) mode.
+func NewPort(e *Engine) *Port { return &Port{eng: e} }
+
+// Shard returns the shard currently executing through this port, or nil
+// outside parallel windows. Components branch on it for side effects
+// that must be sequenced at the barrier (slab allocation, stat samples).
+func (p *Port) Shard() *ShardRun { return p.sr }
+
+// Now implements Sink.
+func (p *Port) Now() uint64 {
+	if p.sr != nil {
+		return p.sr.now
+	}
+	return p.eng.now
+}
+
+// Post implements Sink.
+func (p *Port) Post(t uint64, h Handler, obj any, a0, a1 uint64) {
+	if p.sr != nil {
+		p.sr.Post(t, h, obj, a0, a1)
+		return
+	}
+	p.eng.Post(t, h, obj, a0, a1)
+}
+
+// PostAfter implements Sink.
+func (p *Port) PostAfter(d uint64, h Handler, obj any, a0, a1 uint64) {
+	p.Post(p.Now()+d, h, obj, a0, a1)
+}
+
+// Peeled is one event lifted out of the global engine for a window.
+type Peeled struct {
+	At, Seq uint64
+	A0, A1  uint64
+	H       Handler
+	Obj     any
+}
+
+// Record kinds in a shard's dispatch log.
+const (
+	recDispatch = iota
+	recPost
+	recOp
+)
+
+// provKey marks a dispatch-log key as a provisional post id rather than
+// a real global sequence number. Provisional ids are window-local and
+// resolved during replay.
+const provKey = uint64(1) << 63
+
+type rec struct {
+	kind uint8
+	code uint8  // recOp: caller-defined operation code
+	at   uint64 // recDispatch: dispatch cycle
+	a    uint64 // recDispatch: key; recPost: post index; recOp: argument
+}
+
+type postRec struct {
+	at     uint64
+	a0, a1 uint64
+	h      Handler
+	obj    any
+	local  bool // dispatched inside the window (no engine insert at replay)
+}
+
+// ShardRun is one shard's execution context for a single window: its
+// peeled events, a local schedule of same-shard posts landing inside the
+// window, and the dispatch log the replay consumes. It implements Sink
+// for the duration of the window.
+type ShardRun struct {
+	runner *Sharded
+	shard  int
+
+	now  uint64
+	tend uint64
+
+	events []Peeled
+	ei     int
+
+	heap     []int32 // post indices, ordered by (at, index)
+	posts    []postRec
+	recs     []rec
+	provSeq  []uint64
+	ri       int // replay cursor into recs
+	executed uint64
+}
+
+// Now implements Sink.
+func (sr *ShardRun) Now() uint64 { return sr.now }
+
+// Post implements Sink. Posts landing inside the current window are
+// dispatched locally (they must target this shard — anything else is a
+// lookahead violation); later posts are buffered and inserted into the
+// global engine at the barrier with their replay-assigned sequence.
+func (sr *ShardRun) Post(t uint64, h Handler, obj any, a0, a1 uint64) {
+	if t < sr.now {
+		t = sr.now
+	}
+	id := len(sr.posts)
+	sr.posts = append(sr.posts, postRec{at: t, a0: a0, a1: a1, h: h, obj: obj})
+	sr.recs = append(sr.recs, rec{kind: recPost, a: uint64(id)})
+	if t < sr.tend {
+		if lc := sr.runner.cfg.Local; lc != nil && !lc(sr.shard, obj) {
+			panic(fmt.Sprintf("event: cross-shard post inside lookahead window (shard %d, t=%d < tend=%d)", sr.shard, t, sr.tend))
+		}
+		sr.posts[id].local = true
+		sr.heapPush(int32(id))
+	}
+}
+
+// PostAfter implements Sink.
+func (sr *ShardRun) PostAfter(d uint64, h Handler, obj any, a0, a1 uint64) {
+	sr.Post(sr.now+d, h, obj, a0, a1)
+}
+
+// Op logs a caller-defined side-effect operation (slab allocation, slot
+// free, stat sample...). The runner's Apply callback executes it at the
+// barrier, in exact global dispatch order.
+func (sr *ShardRun) Op(code uint8, arg uint64) {
+	sr.recs = append(sr.recs, rec{kind: recOp, code: code, a: arg})
+}
+
+func (sr *ShardRun) reset(now, tend uint64) {
+	sr.now, sr.tend = now, tend
+	sr.events = sr.events[:0]
+	sr.ei = 0
+	sr.heap = sr.heap[:0]
+	sr.posts = sr.posts[:0]
+	sr.recs = sr.recs[:0]
+	sr.ri = 0
+	sr.executed = 0
+}
+
+// Local-schedule heap over post indices, ordered by (at, index). Within
+// one shard, post index order is posting order is sequential seq order,
+// so this is the sequential tie-break.
+func (sr *ShardRun) heapLess(i, j int32) bool {
+	a, b := sr.posts[i].at, sr.posts[j].at
+	if a != b {
+		return a < b
+	}
+	return i < j
+}
+
+func (sr *ShardRun) heapPush(idx int32) {
+	sr.heap = append(sr.heap, idx)
+	i := len(sr.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sr.heapLess(sr.heap[i], sr.heap[parent]) {
+			break
+		}
+		sr.heap[i], sr.heap[parent] = sr.heap[parent], sr.heap[i]
+		i = parent
+	}
+}
+
+func (sr *ShardRun) heapPop() int32 {
+	h := sr.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	sr.heap = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= last {
+			break
+		}
+		c := l
+		if r < last && sr.heapLess(sr.heap[r], sr.heap[l]) {
+			c = r
+		}
+		if !sr.heapLess(sr.heap[c], sr.heap[i]) {
+			break
+		}
+		sr.heap[i], sr.heap[c] = sr.heap[c], sr.heap[i]
+		i = c
+	}
+	return top
+}
+
+// run executes the shard's slice of the window: peeled events merged
+// with locally scheduled posts, in (cycle, sequence) order. A peeled
+// event always precedes a same-cycle local post (its real seq is smaller
+// than any new post's), so local posts run only at strictly earlier
+// cycles or after the peeled events of their cycle.
+func (sr *ShardRun) run() {
+	for {
+		hasEv := sr.ei < len(sr.events)
+		hasLoc := len(sr.heap) > 0
+		if !hasEv && !hasLoc {
+			return
+		}
+		if hasLoc && (!hasEv || sr.posts[sr.heap[0]].at < sr.events[sr.ei].At) {
+			id := sr.heapPop()
+			p := sr.posts[id] // copy: the slice may grow during the handler
+			sr.now = p.at
+			sr.recs = append(sr.recs, rec{kind: recDispatch, at: p.at, a: provKey | uint64(id)})
+			sr.executed++
+			p.h(p.obj, p.a0, p.a1)
+		} else {
+			ev := sr.events[sr.ei]
+			sr.ei++
+			sr.now = ev.At
+			sr.recs = append(sr.recs, rec{kind: recDispatch, at: ev.At, a: ev.Seq})
+			sr.executed++
+			ev.H(ev.Obj, ev.A0, ev.A1)
+		}
+	}
+}
+
+// ShardedConfig wires a Sharded runner to its owning simulator.
+type ShardedConfig struct {
+	// Shards is the number of concurrent execution shards. Shard 0 runs
+	// on the coordinating goroutine; shards 1..Shards-1 each get a
+	// worker goroutine.
+	Shards int
+	// Lookahead is the conservative window length L: components promise
+	// every cross-shard event is posted >= L cycles ahead.
+	Lookahead uint64
+	// Floor is the minimum number of already-pending events in a window
+	// for parallel execution; sparser windows run inline on the global
+	// engine (sequential dispatch is trivially byte-identical and far
+	// cheaper than a barrier at low density).
+	Floor int
+	// SpreadFloor additionally requires that many pending events OUTSIDE
+	// the window's most-loaded shard before fanning out: a window whose
+	// events pile onto one shard gains nothing from a barrier. 0 disables
+	// the gate. Like Floor it only picks inline vs parallel execution of
+	// a window — either path leaves byte-identical engine state.
+	SpreadFloor int
+	// Route maps a pending event to its shard (by receiver and payload).
+	Route func(obj any, a0 uint64) int
+	// Local, if non-nil, reports whether obj belongs to the shard; it is
+	// asserted on every intra-window post as a lookahead-violation
+	// tripwire.
+	Local func(shard int, obj any) bool
+	// Apply executes one logged Op at the barrier, in exact global
+	// dispatch order. Required if any handler logs Ops.
+	Apply func(shard int, code uint8, arg uint64)
+	// Patch, if non-nil, translates the payload of each buffered
+	// (post-window) post at replay time — e.g. provisional resource
+	// tokens to the real ones allocated by Apply.
+	Patch func(obj any, a0, a1 uint64) (uint64, uint64)
+	// BeforeWindow, if non-nil, runs on the coordinator before each
+	// parallel window (the owner resets its per-window record buffers).
+	BeforeWindow func()
+	// Ports are the component endpoints to bind to shards during
+	// parallel windows; Binding[i] names the shard Ports[i] belongs to.
+	// The runner sets each port's Tag to its binding.
+	Ports   []*Port
+	Binding []int
+}
+
+// ShardedStats summarises a runner's work.
+type ShardedStats struct {
+	Shards          int
+	Windows         uint64 // windows considered (inline + parallel)
+	ParallelWindows uint64
+	Barriers        uint64
+	InlineEvents    uint64
+	ParallelEvents  uint64
+	BarrierStallNs  int64 // coordinator time spent waiting on workers
+	RunNs           int64 // total wall time inside Run
+}
+
+const stopEpoch = ^uint64(0)
+
+type pworker struct {
+	epoch  atomic.Uint64
+	parked atomic.Uint32
+	wake   chan struct{}
+	sr     *ShardRun
+	done   *atomic.Int64
+}
+
+func (w *pworker) release(e uint64) {
+	w.epoch.Store(e)
+	if w.parked.Load() != 0 {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// await spins briefly for the next epoch, then parks on the wake
+// channel. Spurious wakeups (stale tokens) just re-check the epoch.
+func (w *pworker) await(last uint64) uint64 {
+	for spins := 0; ; spins++ {
+		if t := w.epoch.Load(); t != last {
+			return t
+		}
+		if spins < 4096 {
+			if spins&63 == 63 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		w.parked.Store(1)
+		if w.epoch.Load() == last {
+			<-w.wake
+		}
+		w.parked.Store(0)
+	}
+}
+
+func (w *pworker) loop() {
+	last := uint64(0)
+	for {
+		t := w.await(last)
+		if t == stopEpoch {
+			return
+		}
+		w.sr.run()
+		last = t
+		w.done.Add(-1)
+	}
+}
+
+// Sharded executes an engine's event stream through deterministic
+// parallel windows. Construct with NewSharded, drive with Run (in place
+// of Engine.Run), and Stop when done to release the worker goroutines.
+type Sharded struct {
+	eng     *Engine
+	cfg     ShardedConfig
+	shards  []*ShardRun
+	workers []*pworker
+	epoch   uint64
+	done    atomic.Int64
+	peelBuf []Peeled
+	spread  []int // per-shard pending counts for the SpreadFloor gate
+	stats   ShardedStats
+	stopped bool
+}
+
+// NewSharded builds a runner and starts its worker goroutines.
+func NewSharded(e *Engine, cfg ShardedConfig) *Sharded {
+	if cfg.Shards < 2 {
+		panic("event: sharded runner needs at least 2 shards")
+	}
+	if cfg.Lookahead == 0 {
+		panic("event: sharded runner needs a positive lookahead")
+	}
+	if cfg.Lookahead >= wheelSize {
+		panic("event: lookahead exceeds the wheel horizon")
+	}
+	if len(cfg.Ports) != len(cfg.Binding) {
+		panic("event: ports/binding length mismatch")
+	}
+	r := &Sharded{eng: e, cfg: cfg}
+	r.stats.Shards = cfg.Shards
+	r.spread = make([]int, cfg.Shards)
+	r.shards = make([]*ShardRun, cfg.Shards)
+	for i := range r.shards {
+		r.shards[i] = &ShardRun{runner: r, shard: i}
+	}
+	for i, p := range cfg.Ports {
+		p.Tag = cfg.Binding[i]
+	}
+	r.workers = make([]*pworker, cfg.Shards-1)
+	for i := range r.workers {
+		w := &pworker{wake: make(chan struct{}, 1), sr: r.shards[i+1], done: &r.done}
+		r.workers[i] = w
+		go w.loop()
+	}
+	return r
+}
+
+// Port returns the i-th port handed to NewSharded.
+func (r *Sharded) Port(i int) *Port { return r.cfg.Ports[i] }
+
+// Stats returns the runner's cumulative statistics.
+func (r *Sharded) Stats() ShardedStats { return r.stats }
+
+// Stop terminates the worker goroutines. The runner must not be used
+// afterwards.
+func (r *Sharded) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	for _, w := range r.workers {
+		w.release(stopEpoch)
+	}
+}
+
+// Run advances the engine to `until`, dispatching every event at or
+// before it — the parallel equivalent of Engine.Run(until). The engine
+// state at return (clock, sequence counter, Executed, pending events) is
+// byte-identical to what the sequential call would leave.
+func (r *Sharded) Run(until uint64) {
+	start := time.Now()
+	e := r.eng
+	for {
+		idx := e.next()
+		if idx == nilIdx || e.nodes[idx].at > until {
+			break
+		}
+		t0 := e.nodes[idx].at
+		if t0 > e.now {
+			// Advance the clock to the window start (dispatches nothing,
+			// migrates horizon-entering events) so bucket scans below
+			// stay within the wheel horizon.
+			e.Run(t0 - 1)
+		}
+		tend := t0 + r.cfg.Lookahead
+		if tend > until {
+			tend = until + 1
+		}
+		r.stats.Windows++
+		if e.countUntil(tend, r.cfg.Floor) < r.cfg.Floor {
+			r.stats.InlineEvents += e.Run(tend - 1)
+			continue
+		}
+		if r.cfg.SpreadFloor > 0 {
+			for i := range r.spread {
+				r.spread[i] = 0
+			}
+			total := e.spreadUntil(tend, r.cfg.Route, r.spread)
+			max := 0
+			for _, c := range r.spread {
+				if c > max {
+					max = c
+				}
+			}
+			if total-max < r.cfg.SpreadFloor {
+				r.stats.InlineEvents += e.Run(tend - 1)
+				continue
+			}
+		}
+		r.runWindow(tend)
+	}
+	e.Run(until)
+	r.stats.RunNs += time.Since(start).Nanoseconds()
+}
+
+func (r *Sharded) runWindow(tend uint64) {
+	e := r.eng
+	if r.cfg.BeforeWindow != nil {
+		r.cfg.BeforeWindow()
+	}
+
+	// Peel every event inside the window off the wheel and partition it
+	// by shard. Peeling scans cycles in ascending order and buckets in
+	// FIFO (= seq) order, so each shard's slice arrives sorted.
+	buf := e.peelWindow(tend, r.peelBuf[:0])
+	r.peelBuf = buf
+	for _, sr := range r.shards {
+		sr.reset(e.now, tend)
+	}
+	for i := range buf {
+		sh := r.cfg.Route(buf[i].Obj, buf[i].A0)
+		sr := r.shards[sh]
+		sr.events = append(sr.events, buf[i])
+	}
+
+	// Bind ports to shards and release the workers.
+	for i, p := range r.cfg.Ports {
+		p.sr = r.shards[r.cfg.Binding[i]]
+	}
+	r.epoch++
+	r.done.Store(int64(len(r.workers)))
+	for _, w := range r.workers {
+		w.release(r.epoch)
+	}
+
+	// The coordinator executes shard 0 (the uncore shard in the
+	// simulator), then waits for the workers.
+	r.shards[0].run()
+	wait := time.Now()
+	for r.done.Load() != 0 {
+		runtime.Gosched()
+	}
+	r.stats.BarrierStallNs += time.Since(wait).Nanoseconds()
+	for _, p := range r.cfg.Ports {
+		p.sr = nil
+	}
+
+	r.replay(tend)
+	for _, sr := range r.shards {
+		e.Executed += sr.executed
+		r.stats.ParallelEvents += sr.executed
+	}
+	if n := e.Run(tend - 1); n != 0 {
+		panic("event: parallel window left undispatched events behind")
+	}
+	r.stats.Barriers++
+	r.stats.ParallelWindows++
+}
+
+// replay is the single-threaded sequencer: it merges the shards'
+// dispatch logs in (cycle, sequence) order — the order the sequential
+// engine would have dispatched — assigning real sequence numbers to
+// every logged post, inserting the non-local ones into the engine, and
+// applying logged side-effect Ops through the Apply callback.
+func (r *Sharded) replay(tend uint64) {
+	e := r.eng
+	for _, sr := range r.shards {
+		sr.provSeq = sr.provSeq[:0]
+		for range sr.posts {
+			sr.provSeq = append(sr.provSeq, 0)
+		}
+	}
+	for {
+		best := -1
+		var bAt, bSeq uint64
+		for si, sr := range r.shards {
+			if sr.ri >= len(sr.recs) {
+				continue
+			}
+			rc := &sr.recs[sr.ri]
+			seq := rc.a
+			if seq&provKey != 0 {
+				// The poster dispatched earlier on this shard, so its
+				// recPost has already been consumed and the id resolves.
+				seq = sr.provSeq[rc.a&^provKey]
+				if seq == 0 {
+					panic("event: unresolved provisional dispatch key in replay")
+				}
+			}
+			if best < 0 || rc.at < bAt || (rc.at == bAt && seq < bSeq) {
+				best, bAt, bSeq = si, rc.at, seq
+			}
+		}
+		if best < 0 {
+			return
+		}
+		sr := r.shards[best]
+		sr.ri++ // consume the dispatch record
+		for sr.ri < len(sr.recs) && sr.recs[sr.ri].kind != recDispatch {
+			rc := &sr.recs[sr.ri]
+			sr.ri++
+			switch rc.kind {
+			case recPost:
+				id := rc.a
+				e.seq++
+				sr.provSeq[id] = e.seq
+				p := &sr.posts[id]
+				if !p.local {
+					if p.at < tend {
+						panic("event: buffered post lands inside its own window")
+					}
+					a0, a1 := p.a0, p.a1
+					if r.cfg.Patch != nil {
+						a0, a1 = r.cfg.Patch(p.obj, a0, a1)
+					}
+					e.insertSeq(p.at, e.seq, p.h, p.obj, a0, a1)
+				}
+			case recOp:
+				r.cfg.Apply(best, rc.code, rc.a)
+			}
+		}
+	}
+}
+
+// ---- engine hooks for the windowed runner ----------------------------
+
+// countUntil counts pending events in [now, tend), stopping at limit.
+// Requires tend - now <= wheelSize (the caller's lookahead guarantees
+// it), so every such event sits in its wheel bucket.
+func (e *Engine) countUntil(tend uint64, limit int) int {
+	cnt := 0
+	for c := e.now; c < tend; c++ {
+		for idx := e.buckets[c&wheelMask].head; idx != nilIdx; idx = e.nodes[idx].next {
+			cnt++
+			if cnt >= limit {
+				return cnt
+			}
+		}
+	}
+	return cnt
+}
+
+// spreadUntil counts pending events in [now, tend) per routing shard,
+// accumulating into counts (len = shard count) and returning the total.
+// The same bucket walk as countUntil, without the early exit; callers
+// run it only on windows already past Floor.
+func (e *Engine) spreadUntil(tend uint64, route func(any, uint64) int, counts []int) int {
+	total := 0
+	for c := e.now; c < tend; c++ {
+		for idx := e.buckets[c&wheelMask].head; idx != nilIdx; idx = e.nodes[idx].next {
+			n := &e.nodes[idx]
+			counts[route(n.obj, n.a0)]++
+			total++
+		}
+	}
+	return total
+}
+
+// peelWindow removes every pending event in [now, tend) from the wheel
+// and appends it to buf in (cycle, seq) order. The wheel invariant plus
+// tend - now <= wheelSize guarantee no such event hides in the overflow
+// heap.
+func (e *Engine) peelWindow(tend uint64, buf []Peeled) []Peeled {
+	if tend-e.now > wheelSize {
+		panic("event: peel window exceeds the wheel horizon")
+	}
+	e.migrate()
+	for c := e.now; c < tend; c++ {
+		b := &e.buckets[c&wheelMask]
+		for idx := b.head; idx != nilIdx; {
+			n := &e.nodes[idx]
+			buf = append(buf, Peeled{At: n.at, Seq: n.seq, A0: n.a0, A1: n.a1, H: n.h, Obj: n.obj})
+			next := n.next
+			e.release(idx)
+			e.wheelCount--
+			idx = next
+		}
+		b.head, b.tail = nilIdx, nilIdx
+	}
+	return buf
+}
+
+// insertSeq files an event with an externally assigned sequence number
+// (the replay's genealogical assignment). Callers insert in increasing
+// seq order, preserving the bucket-FIFO = seq-order invariant.
+func (e *Engine) insertSeq(at, seq uint64, h Handler, obj any, a0, a1 uint64) {
+	idx := e.alloc()
+	n := &e.nodes[idx]
+	n.at, n.seq, n.h, n.obj, n.a0, n.a1, n.next = at, seq, h, obj, a0, a1, nilIdx
+	e.insert(idx)
+}

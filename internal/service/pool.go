@@ -37,6 +37,10 @@ type Options struct {
 	// Workers bounds concurrent simulations (default: GOMAXPROCS, which
 	// respects user and cgroup CPU limits).
 	Workers int
+	// SimWorkers is the default in-run shard count for jobs that do not
+	// set spec.Workers (0 = sequential). A resource knob only: results,
+	// hashes and coalescing are identical at any value.
+	SimWorkers int
 	// CacheEntries sizes the LRU result cache (default 256).
 	CacheEntries int
 	// RetainJobs bounds terminal job records kept for status queries
@@ -134,6 +138,31 @@ type PoolStats struct {
 	// Warm reports warm-checkpoint reuse (zero value when WarmStarts is
 	// off).
 	Warm sim.WarmStats `json:"warm"`
+	// Parallel reports in-run shard parallelism and the CPU-token budget
+	// bounding pool×shard concurrency.
+	Parallel ParallelPoolStats `json:"parallel"`
+}
+
+// ParallelPoolStats aggregates the parallel engine's work across the
+// pool's runs, plus the token budget that keeps pool-level and in-run
+// parallelism from oversubscribing the machine.
+type ParallelPoolStats struct {
+	// Tokens is the CPU-token budget; TokensInUse is the current
+	// aggregate cost of running jobs (a job costs min(max(1, Workers),
+	// Tokens) tokens).
+	Tokens      int `json:"tokens"`
+	TokensInUse int `json:"tokens_in_use"`
+	// Runs counts completed runs that used the parallel engine;
+	// MaxWorkers is the largest effective shard count observed.
+	Runs       uint64 `json:"runs"`
+	MaxWorkers int    `json:"max_workers"`
+	// Barriers totals epoch barriers across parallel runs;
+	// BarriersPerSec and BarrierStallPct are derived from the runners'
+	// wall time (barrier rate, and the share of it the coordinator spent
+	// waiting on shards).
+	Barriers        uint64  `json:"barriers"`
+	BarriersPerSec  float64 `json:"barriers_per_sec"`
+	BarrierStallPct float64 `json:"barrier_stall_pct"`
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -165,6 +194,18 @@ type Pool struct {
 	executions uint64
 	coalesced  uint64
 
+	// CPU-token budget: pool slots cost the job's effective Workers
+	// count, so in-run shard parallelism and pool-level job parallelism
+	// together stay bounded by max(GOMAXPROCS, Workers option).
+	tokens      int
+	tokensInUse int
+	// Parallel-engine aggregates (runs that used the sharded runner).
+	parRuns       uint64
+	parMaxWorkers int
+	parBarriers   uint64
+	parStallNs    int64
+	parRunNs      int64
+
 	wg sync.WaitGroup
 }
 
@@ -176,6 +217,10 @@ func NewPool(opts Options) *Pool {
 		byHash: make(map[string]*job),
 	}
 	p.cache = newResultCache(p.opts.CacheEntries)
+	p.tokens = runtime.GOMAXPROCS(0)
+	if p.opts.Workers > p.tokens {
+		p.tokens = p.opts.Workers
+	}
 	if p.opts.WarmStarts || p.opts.WarmBackend != nil {
 		p.warm = sim.NewWarmStoreBacked(p.opts.WarmEntries, p.opts.WarmBackend)
 	}
@@ -365,8 +410,23 @@ func (p *Pool) Cancel(id string) bool {
 	}
 	if j.cancel != nil {
 		j.cancel()
+		p.cond.Broadcast() // a token-blocked worker re-checks its context
 	}
 	return true
+}
+
+// recordParallel folds one finished run's parallel-engine statistics
+// into the pool aggregates.
+func (p *Pool) recordParallel(st sim.ParallelStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.parRuns++
+	if st.Workers > p.parMaxWorkers {
+		p.parMaxWorkers = st.Workers
+	}
+	p.parBarriers += st.Barriers
+	p.parStallNs += st.BarrierStallNs
+	p.parRunNs += st.RunNs
 }
 
 // Stats snapshots pool health.
@@ -379,6 +439,18 @@ func (p *Pool) Stats() PoolStats {
 		Completed:  p.completed,
 		Executions: p.executions,
 		Coalesced:  p.coalesced,
+		Parallel: ParallelPoolStats{
+			Tokens:      p.tokens,
+			TokensInUse: p.tokensInUse,
+			Runs:        p.parRuns,
+			MaxWorkers:  p.parMaxWorkers,
+			Barriers:    p.parBarriers,
+		},
+	}
+	if p.parRunNs > 0 {
+		secs := float64(p.parRunNs) / 1e9
+		st.Parallel.BarriersPerSec = float64(p.parBarriers) / secs
+		st.Parallel.BarrierStallPct = 100 * float64(p.parStallNs) / float64(p.parRunNs)
 	}
 	p.mu.Unlock()
 	st.Cache = p.cache.stats()
@@ -462,17 +534,36 @@ func (p *Pool) worker() {
 		j.state = StateRunning
 		p.running++
 		p.executions++
+		// Acquire the job's CPU tokens: a Workers=N job costs N of the
+		// shared budget, so pool×shard concurrency never oversubscribes.
+		// The job is already claimed (other workers keep draining the
+		// queue), and cost <= tokens, so every waiter eventually runs.
+		if j.cfg.Workers == 0 && p.opts.SimWorkers > 0 {
+			j.cfg.Workers = p.opts.SimWorkers
+		}
+		cost := j.cfg.Workers
+		if cost < 1 {
+			cost = 1
+		}
+		if cost > p.tokens {
+			cost = p.tokens
+		}
 		ctx, cancel := context.WithCancel(context.Background())
 		if j.timeout > 0 {
 			ctx, cancel = context.WithTimeout(context.Background(), j.timeout)
 		}
-		j.cancel = cancel
+		j.cancel = cancel // set before the token wait so Cancel reaches a token-blocked job
+		for p.tokensInUse+cost > p.tokens && !p.closed && ctx.Err() == nil {
+			p.cond.Wait()
+		}
+		p.tokensInUse += cost
 		p.mu.Unlock()
 
 		hooks := sim.Hooks{
 			Interval: p.opts.ProgressInterval,
 			Progress: func(pr sim.Progress) { p.publish(j, pr) },
 			Cancel:   func() bool { return ctx.Err() != nil },
+			Parallel: func(st sim.ParallelStats) { p.recordParallel(st) },
 		}
 		var res sim.Result
 		var err error
@@ -486,6 +577,8 @@ func (p *Pool) worker() {
 
 		p.mu.Lock()
 		p.running--
+		p.tokensInUse -= cost
+		p.cond.Broadcast() // wake token waiters (Signal could pick a queue waiter)
 		j.cancel = nil
 		switch {
 		case err == nil:

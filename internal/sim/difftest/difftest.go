@@ -1,0 +1,139 @@
+// Package difftest is the differential-equivalence harness that pins
+// the parallel simulation engine to the sequential one: the same Config
+// executed at any Workers count must produce byte-identical Result JSON
+// and byte-identical machine snapshots (warmup-end checkpoint and
+// end-of-run state). The harness is reusable — the randomized matrix
+// test drives it across mechanisms, workload kinds and restore paths,
+// and any future engine work can call it directly on a suspect Config.
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bump/internal/sim"
+)
+
+// Artifacts collects every observable output of one run for byte-level
+// comparison.
+type Artifacts struct {
+	// ResultJSON is the indented JSON encoding of the run's Result.
+	ResultJSON []byte
+	// WarmSnap holds the warmup-end checkpoint bytes (nil when the
+	// config has no warmup window).
+	WarmSnap []byte
+	// EndSnap holds the full machine snapshot taken after the run.
+	EndSnap []byte
+	// Parallel reports the parallel runner's execution statistics
+	// (zero for sequential runs).
+	Parallel sim.ParallelStats
+}
+
+func marshalResult(tb testing.TB, res sim.Result) []byte {
+	tb.Helper()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// RunCold builds a fresh system for cfg with the given Workers value and
+// runs it cold, capturing all comparison artifacts.
+func RunCold(tb testing.TB, cfg sim.Config, workers int) Artifacts {
+	tb.Helper()
+	cfg.Workers = workers
+	s, err := sim.New(cfg)
+	if err != nil {
+		tb.Fatalf("workers=%d: %v", workers, err)
+	}
+	var a Artifacts
+	h := sim.Hooks{Parallel: func(st sim.ParallelStats) { a.Parallel = st }}
+	if cfg.WarmupCycles > 0 {
+		var warm bytes.Buffer
+		h.AtWarmupEnd = func() error { return s.Snapshot(&warm) }
+		defer func() { a.WarmSnap = warm.Bytes() }()
+	}
+	res, err := s.RunWithHooks(h)
+	if err != nil {
+		tb.Fatalf("workers=%d: %v", workers, err)
+	}
+	a.ResultJSON = marshalResult(tb, res)
+	var end bytes.Buffer
+	if err := s.Snapshot(&end); err != nil {
+		tb.Fatalf("workers=%d: end snapshot: %v", workers, err)
+	}
+	a.EndSnap = end.Bytes()
+	return a
+}
+
+// Equivalence runs cfg sequentially (the reference) and at each workers
+// count, asserting byte-identical Result JSON, warmup-end snapshot and
+// end-of-run snapshot. It also asserts that at least one workers count
+// actually exercised parallel windows — a harness that silently falls
+// back to inline execution everywhere proves nothing. Returns the
+// reference artifacts for further checks.
+func Equivalence(tb testing.TB, cfg sim.Config, workers ...int) Artifacts {
+	tb.Helper()
+	ref := RunCold(tb, cfg, 0)
+	anyParallel := false
+	for _, w := range workers {
+		got := RunCold(tb, cfg, w)
+		compare(tb, w, ref, got)
+		if got.Parallel.ParallelWindows > 0 {
+			anyParallel = true
+		}
+	}
+	if !anyParallel {
+		tb.Errorf("no workers count in %v executed a single parallel window — the config is too sparse (or GOMAXPROCS too low) for this differential to mean anything", workers)
+	}
+	return ref
+}
+
+func compare(tb testing.TB, workers int, ref, got Artifacts) {
+	tb.Helper()
+	if !bytes.Equal(got.ResultJSON, ref.ResultJSON) {
+		tb.Errorf("workers=%d: Result JSON diverges from sequential.\ngot:\n%s\nwant:\n%s",
+			workers, got.ResultJSON, ref.ResultJSON)
+	}
+	if !bytes.Equal(got.WarmSnap, ref.WarmSnap) {
+		tb.Errorf("workers=%d: warmup-end snapshot diverges from sequential (%d vs %d bytes)",
+			workers, len(got.WarmSnap), len(ref.WarmSnap))
+	}
+	if !bytes.Equal(got.EndSnap, ref.EndSnap) {
+		tb.Errorf("workers=%d: end-of-run snapshot diverges from sequential (%d vs %d bytes)",
+			workers, len(got.EndSnap), len(ref.EndSnap))
+	}
+}
+
+// EquivalenceWarm exercises the warm/fork restore paths: for each
+// workers count a fresh WarmStore runs cfg twice — the first run builds
+// the trunk nodes (under the parallel engine), the second restores them
+// — and both results must match the sequential cold reference byte for
+// byte. Works for plain warm restores (ForkAt zero) and checkpoint-tree
+// forks (ForkAt / ForkCycles set) alike.
+func EquivalenceWarm(tb testing.TB, cfg sim.Config, workers ...int) {
+	tb.Helper()
+	ref := RunCold(tb, cfg, 0)
+	for _, w := range workers {
+		wcfg := cfg
+		wcfg.Workers = w
+		ws := sim.NewWarmStore(16)
+		for pass, label := range []string{"build", "restore"} {
+			res, err := ws.Run(wcfg)
+			if err != nil {
+				tb.Fatalf("workers=%d %s pass: %v", w, label, err)
+			}
+			if got := marshalResult(tb, res); !bytes.Equal(got, ref.ResultJSON) {
+				tb.Errorf("workers=%d warm %s pass: Result JSON diverges from sequential cold run.\ngot:\n%s\nwant:\n%s",
+					w, label, got, ref.ResultJSON)
+			}
+			_ = pass
+		}
+		st := ws.Stats()
+		if st.Misses == 0 {
+			tb.Errorf("workers=%d: warm store never built a node (harness wired wrong?)", w)
+		}
+	}
+}

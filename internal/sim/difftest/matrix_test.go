@@ -1,0 +1,186 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"bump/internal/scenario"
+	"bump/internal/sim"
+	"bump/internal/workload"
+)
+
+// matrixWorkers is the Workers sweep every differential case runs
+// against the sequential reference.
+var matrixWorkers = []int{2, 4, 8}
+
+// setProcs raises GOMAXPROCS to n for the test when the machine has
+// fewer Ps, so the GOMAXPROCS cap in effectiveWorkers doesn't silently
+// collapse the differential to sequential-vs-sequential on small CI
+// boxes. Correctness (unlike speedup) doesn't need real cores — the
+// workers' spin loops yield, so oversubscribed shards still make
+// progress.
+func setProcs(tb testing.TB, n int) {
+	old := runtime.GOMAXPROCS(0)
+	if n <= old {
+		return
+	}
+	runtime.GOMAXPROCS(n)
+	tb.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// matrixSeed picks the randomized matrix's seed: BUMP_DIFFTEST_SEED for
+// replaying a logged failure, wall clock otherwise. The seed is logged
+// unconditionally so any red run is reproducible.
+func matrixSeed(tb testing.TB) int64 {
+	if s := os.Getenv("BUMP_DIFFTEST_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			tb.Fatalf("BUMP_DIFFTEST_SEED: %v", err)
+		}
+		tb.Logf("matrix seed %d (from BUMP_DIFFTEST_SEED)", v)
+		return v
+	}
+	v := time.Now().UnixNano()
+	tb.Logf("matrix seed %d (replay with BUMP_DIFFTEST_SEED=%d)", v, v)
+	return v
+}
+
+// denseConfig builds a parallel-worthy configuration: enough cores that
+// a 5-cycle lookahead window carries well past Floor events, with small
+// caches and short windows to keep the matrix fast. Dimensions are drawn
+// from rng so every CI run probes a different point of the space.
+func denseConfig(rng *rand.Rand, m sim.Mechanism, w workload.Params) sim.Config {
+	cfg := sim.DefaultConfig(m, w)
+	cfg.Cores = 24 + 8*rng.Intn(3) // 24, 32 or 40
+	cfg.L1Bytes = 8 << 10
+	cfg.LLCBytes = 256 << 10
+	cfg.Seed = rng.Int63()
+	cfg.WarmupCycles = 4_000 + uint64(rng.Intn(3))*2_000
+	cfg.MeasureCycles = 8_000 + uint64(rng.Intn(3))*4_000
+	return cfg
+}
+
+// denseScenario composes a multi-tenant scenario across all cores so the
+// scenario subsystem (phase boundaries, task-bounded phases, load
+// scaling) runs under the parallel engine too.
+func denseScenario(rng *rand.Rand, m sim.Mechanism) sim.Config {
+	cfg := denseConfig(rng, m, workload.WebSearch())
+	half := cfg.Cores / 2
+	sc := scenario.Spec{Name: "difftest-mix", Tenants: []scenario.Tenant{
+		{Name: "swap", Cores: scenario.CoreRange{First: 0, Last: half - 1}, Repeat: true, Phases: []scenario.Phase{
+			{Preset: "data-serving", Accesses: 1200 + uint64(rng.Intn(800))},
+			{Preset: "media-streaming", Accesses: 800 + uint64(rng.Intn(600))},
+		}},
+		{Name: "burst", Cores: scenario.CoreRange{First: half, Last: cfg.Cores - 1}, Repeat: true, Phases: []scenario.Phase{
+			{Preset: "web-search", Tasks: 60 + uint64(rng.Intn(40))},
+			{Preset: "online-analytics", Tasks: 30 + uint64(rng.Intn(20)), WriteScale: 2, LoadScale: 1.5},
+		}},
+	}}
+	cfg.Workload = workload.Params{}
+	cfg.Scenario = sc
+	return cfg
+}
+
+// TestParallelEquivalenceMatrix is the main differential: 4 mechanisms ×
+// stationary/scenario workloads, each compared sequential vs Workers ∈
+// {2,4,8} on Result JSON, warmup-end snapshot and end-of-run snapshot,
+// plus warm-restore and checkpoint-tree fork paths on a sub-matrix.
+func TestParallelEquivalenceMatrix(t *testing.T) {
+	setProcs(t, 8)
+	rng := rand.New(rand.NewSource(matrixSeed(t)))
+	mechanisms := []sim.Mechanism{sim.BuMP, sim.SMSVWQ, sim.BaseClose, sim.VWQOnly}
+	stationary := []workload.Params{
+		workload.WebSearch(), workload.DataServing(),
+		workload.OnlineAnalytics(), workload.MediaStreaming(),
+	}
+
+	for i, m := range mechanisms {
+		cfg := denseConfig(rng, m, stationary[i])
+		t.Run(fmt.Sprintf("cold/%s/%s", m, cfg.Workload.Name), func(t *testing.T) {
+			Equivalence(t, cfg, matrixWorkers...)
+		})
+		scfg := denseScenario(rng, m)
+		t.Run(fmt.Sprintf("cold/%s/scenario", m), func(t *testing.T) {
+			Equivalence(t, scfg, matrixWorkers...)
+		})
+	}
+
+	// Restore paths on one stationary and one scenario point: a plain
+	// warm restore, and a checkpoint-tree fork (deferred MaxRowHitStreak
+	// bound mid-measurement, one published cut).
+	warmCfg := denseConfig(rng, sim.BuMP, workload.DataServing())
+	t.Run("warm/bump/data-serving", func(t *testing.T) {
+		EquivalenceWarm(t, warmCfg, matrixWorkers...)
+	})
+	warmScen := denseScenario(rng, sim.SMSVWQ)
+	t.Run("warm/sms+vwq/scenario", func(t *testing.T) {
+		EquivalenceWarm(t, warmScen, matrixWorkers...)
+	})
+	forkCfg := denseConfig(rng, sim.BaseClose, workload.WebSearch())
+	forkCfg.MaxRowHitStreak = 4
+	forkCfg.ForkAt = forkCfg.WarmupCycles + forkCfg.MeasureCycles/4
+	forkCfg.ForkCycles = []uint64{forkCfg.ForkAt}
+	t.Run("fork/base-close/web-search", func(t *testing.T) {
+		EquivalenceWarm(t, forkCfg, matrixWorkers...)
+	})
+}
+
+// TestParallelDeterminismGOMAXPROCS pins schedule independence: the same
+// Workers=8 run under GOMAXPROCS 1, 2 and NumCPU must produce identical
+// bytes — and identical to the sequential reference — so goroutine
+// scheduling (including the degenerate one-P case, where the effective
+// worker count collapses to sequential) can never leak into results.
+func TestParallelDeterminismGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(matrixSeed(t)))
+	cfg := denseConfig(rng, sim.BuMP, workload.WebSearch())
+	ref := RunCold(t, cfg, 0)
+
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, p := range []int{1, 2, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(p)
+		got := RunCold(t, cfg, 8)
+		runtime.GOMAXPROCS(old)
+		t.Logf("GOMAXPROCS=%d: effective workers %d, %d parallel windows",
+			p, got.Parallel.Workers, got.Parallel.ParallelWindows)
+		compare(t, 8, ref, got)
+	}
+}
+
+// TestParallelSoak hammers the Workers=8 engine in a loop (2s by
+// default, BUMP_SOAK_SECONDS stretches it for the CI race soak),
+// re-verifying byte identity every iteration. Under -race this is the
+// data-race net for the barrier/merge machinery.
+func TestParallelSoak(t *testing.T) {
+	secs := 2
+	if s := os.Getenv("BUMP_SOAK_SECONDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("BUMP_SOAK_SECONDS: %v", err)
+		}
+		secs = v
+	}
+	setProcs(t, 8)
+	rng := rand.New(rand.NewSource(matrixSeed(t)))
+	cfg := denseConfig(rng, sim.BuMP, workload.DataServing())
+	cfg.WarmupCycles = 2_000
+	cfg.MeasureCycles = 4_000
+	ref := RunCold(t, cfg, 0)
+
+	deadline := time.Now().Add(time.Duration(secs) * time.Second)
+	iters := 0
+	for time.Now().Before(deadline) {
+		got := RunCold(t, cfg, 8)
+		compare(t, 8, ref, got)
+		if t.Failed() {
+			t.Fatalf("diverged on soak iteration %d", iters)
+		}
+		iters++
+	}
+	t.Logf("soak: %d iterations in %ds", iters, secs)
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"bump/internal/workload"
+)
+
+// digestExcluded lists Config fields that are execution-resource knobs:
+// deliberately invisible to the structural digest (and, downstream, to
+// warm-checkpoint keys and service config hashes) because they never
+// change what a run computes.
+var digestExcluded = map[string]bool{"Workers": true}
+
+// TestStructuralConfigMirrorsConfig guards the digest mirror: every
+// Config field except the declared resource knobs must appear in
+// structuralConfig with the same name, type and relative order, and the
+// mirror must have no extras. A new structural Config field that is not
+// added to structuralConfig fails here instead of silently dropping out
+// of the digest.
+func TestStructuralConfigMirrorsConfig(t *testing.T) {
+	ct := reflect.TypeOf(Config{})
+	st := reflect.TypeOf(structuralConfig{})
+	j := 0
+	for i := 0; i < ct.NumField(); i++ {
+		cf := ct.Field(i)
+		if digestExcluded[cf.Name] {
+			continue
+		}
+		if j >= st.NumField() {
+			t.Fatalf("structuralConfig is missing Config field %s — add it to the mirror (and keep digest bytes in mind)", cf.Name)
+		}
+		sf := st.Field(j)
+		if sf.Name != cf.Name || sf.Type != cf.Type {
+			t.Fatalf("structuralConfig field %d is %s %v, want %s %v (mirror out of sync with Config)",
+				j, sf.Name, sf.Type, cf.Name, cf.Type)
+		}
+		j++
+	}
+	if j != st.NumField() {
+		t.Fatalf("structuralConfig has %d extra trailing field(s) starting at %s", st.NumField()-j, st.Field(j).Name)
+	}
+}
+
+// TestWorkersExcludedFromWarmKey pins the hash policy: any Workers value
+// shares one warm-checkpoint identity, so parallel and sequential runs
+// warm one another.
+func TestWorkersExcludedFromWarmKey(t *testing.T) {
+	cfg := DefaultConfig(BuMP, workload.WebSearch())
+	base, ok := WarmKey(cfg)
+	if !ok {
+		t.Fatal("default config must be warm-cacheable")
+	}
+	for _, w := range []int{1, 4, 8} {
+		c := cfg
+		c.Workers = w
+		got, ok := WarmKey(c)
+		if !ok || got != base {
+			t.Fatalf("Workers=%d changed the warm key: %s vs %s", w, got, base)
+		}
+	}
+	c := cfg
+	c.Seed++
+	if k, _ := WarmKey(c); k == base {
+		t.Fatal("sanity: a structural change must change the warm key")
+	}
+}

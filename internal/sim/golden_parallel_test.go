@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestGoldenStateParallel proves the committed golden corpus is valid
+// under the parallel engine without regeneration: every case, run cold
+// at Workers=4, must reproduce the committed warmup-end checkpoint and
+// result bytes exactly, and every committed checkpoint must restore into
+// a Workers=4 system and resume to the committed result. Bit-identity
+// (not statistical closeness) is the whole contract of the parallel
+// engine, and this pins it to state the repo has already shipped.
+func TestGoldenStateParallel(t *testing.T) {
+	if *updateGolden {
+		t.Skip("regenerating (sequential TestGoldenState owns -update)")
+	}
+	// The golden configs have 2 cores, so the effective worker count is
+	// capped at 3; raise GOMAXPROCS so the cap is the core count, not
+	// the machine size.
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			cfg := gc.cfg
+			cfg.Workers = 4
+			snapPath, resultPath := goldenPaths(gc.name)
+			wantSnap := readGoldenSnap(t, snapPath)
+			wantJSON, err := os.ReadFile(resultPath)
+			if err != nil {
+				t.Fatalf("missing golden result (run sequential TestGoldenState -update to create): %v", err)
+			}
+
+			snap, res := runGolden(t, cfg)
+			if !bytes.Equal(snap, wantSnap) {
+				t.Errorf("%s: Workers=4 warmup-end state diverges from the committed golden checkpoint (%d vs %d bytes) — the parallel engine is not bit-identical",
+					gc.name, len(snap), len(wantSnap))
+			}
+			if got := marshalResult(t, res); !bytes.Equal(got, wantJSON) {
+				t.Errorf("%s: Workers=4 result diverges from the committed golden result.\ngot:\n%s\nwant:\n%s",
+					gc.name, got, wantJSON)
+			}
+
+			s := mustNewSys(t, cfg)
+			if err := s.Restore(bytes.NewReader(wantSnap)); err != nil {
+				t.Fatalf("committed checkpoint does not restore into a Workers=4 system: %v", err)
+			}
+			rres, err := s.RunWithHooks(Hooks{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := marshalResult(t, rres); !bytes.Equal(got, wantJSON) {
+				t.Errorf("%s: Workers=4 restored run diverges from the committed golden result.\ngot:\n%s\nwant:\n%s",
+					gc.name, got, wantJSON)
+			}
+		})
+	}
+}

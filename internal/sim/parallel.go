@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+
+	"bump/internal/event"
+	"bump/internal/mem"
+	"bump/internal/noc"
+)
+
+// Parallel execution of one run: the system's event stream is split into
+// conservative-lookahead windows (L = the NOC latency, the minimum
+// core<->uncore traversal), each window's events are partitioned across
+// shards — shard 0 owns the whole uncore (LLC, MSHRs, predictor,
+// profiler, memory controller, DRAM), shards 1..W-1 own disjoint sets of
+// cores — executed concurrently, and the window is committed through the
+// event package's sequencer replay so the engine state, waiter slab,
+// statistics and latency samples evolve byte-for-byte as the sequential
+// engine's would. See internal/event/parallel.go for the ordering
+// argument.
+//
+// Shared-state discipline inside a window:
+//   - Core shards mutate only their cores' private state (L1, MSHR
+//     counts, chains, pending, stream) plus per-shard delta counters and
+//     a per-shard private crossbar; the three waiter-slab side effects a
+//     core handler needs (slot allocation, slot free, latency sample)
+//     are logged as Ops and applied at the barrier in global order.
+//   - The uncore shard mutates its own structures directly (it runs on
+//     the coordinating goroutine) and reads waiter slots; slots it reads
+//     were written at least one barrier earlier, and slots it writes
+//     (claiming) are read by core shards at least one barrier later
+//     (the return NOC latency exceeds the lookahead).
+
+// ParallelStats summarises the parallel engine's work over one run.
+// Deliberately not part of Result: a Result must be byte-identical at
+// every Workers count, while these numbers describe the execution, not
+// the simulated machine.
+type ParallelStats struct {
+	// Workers is the effective shard count the run used (1 = the
+	// sequential engine; the configured value is capped by GOMAXPROCS
+	// and Cores+1).
+	Workers int `json:"workers"`
+	// Windows counts lookahead windows considered; ParallelWindows the
+	// subset dense enough to fan out (the rest ran inline).
+	Windows         uint64 `json:"windows"`
+	ParallelWindows uint64 `json:"parallel_windows"`
+	// Barriers counts epoch barriers (one per parallel window).
+	Barriers uint64 `json:"barriers"`
+	// InlineEvents/ParallelEvents split dispatched events by mode.
+	InlineEvents   uint64 `json:"inline_events"`
+	ParallelEvents uint64 `json:"parallel_events"`
+	// BarrierStallNs is coordinator time spent waiting on workers;
+	// RunNs is total wall time inside the parallel runner.
+	BarrierStallNs int64 `json:"barrier_stall_ns"`
+	RunNs          int64 `json:"run_ns"`
+}
+
+// Sequenced side-effect operations core shards log during a window (see
+// ShardRun.Op); applyShardOp executes them at the barrier in global
+// dispatch order, reproducing the sequential slab and sample evolution.
+const (
+	opAllocWaiter uint8 = 1
+	opFreeWaiter  uint8 = 2
+	opLoadSample  uint8 = 3
+)
+
+// Provisional waiter tokens: a core shard cannot allocate a slab slot
+// mid-window, so newToken hands the posted llcAccess event a placeholder
+// encoding (shard, per-window alloc index); the replay allocates the
+// real slot in order and patches the event payload before it enters the
+// engine. Bit 63 flags a placeholder — real tokens are gen<<32|idx+1
+// and a slot generation never plausibly reaches 2^31.
+const (
+	provTokFlag       = uint64(1) << 63
+	provTokShardShift = 48
+)
+
+type allocRec struct {
+	acc        mem.Access
+	pos, issue uint64
+	core       int32
+	load       bool
+}
+
+// shardDeltas is the per-shard private state for one run: stall-counter
+// deltas and a private crossbar (merged into the authoritative ones
+// after every engine advance), plus the per-window allocation log.
+type shardDeltas struct {
+	ctr     Counters
+	xbar    *noc.Crossbar
+	allocs  []allocRec
+	realTok []uint64
+}
+
+type parallelState struct {
+	run       *event.Sharded
+	shards    []shardDeltas
+	coreShard []int32
+}
+
+// effectiveWorkers resolves cfg.Workers to the shard count a run will
+// actually use: capped by GOMAXPROCS (no oversubscription) and by
+// Cores+1 (one uncore shard plus at most one shard per core). Any value
+// below 2 means the sequential engine.
+func (s *System) effectiveWorkers() int {
+	w := s.cfg.Workers
+	if w > runtime.GOMAXPROCS(0) {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > s.cfg.Cores+1 {
+		w = s.cfg.Cores + 1
+	}
+	if w < 2 {
+		return 1
+	}
+	return w
+}
+
+// startParallel builds the sharded runner and rebinds the cores' ports,
+// counters and crossbars to their shards. Workers > 1 changes how the
+// event stream is executed, never what it computes.
+func (s *System) startParallel(w int) {
+	if s.par != nil {
+		return
+	}
+	par := &parallelState{
+		shards:    make([]shardDeltas, w),
+		coreShard: make([]int32, s.cfg.Cores),
+	}
+	for i := range par.shards {
+		par.shards[i].xbar = noc.New(s.cfg.NOCLatencyCycles)
+	}
+	for i := range par.coreShard {
+		par.coreShard[i] = int32(1 + i%(w-1))
+	}
+	ports := make([]*event.Port, 0, 1+len(s.cores))
+	binding := make([]int, 0, 1+len(s.cores))
+	ports = append(ports, s.unc)
+	binding = append(binding, 0)
+	for _, c := range s.cores {
+		ports = append(ports, c.port)
+		binding = append(binding, int(par.coreShard[c.id]))
+	}
+	lookahead := s.cfg.NOCLatencyCycles
+	if lookahead == 0 {
+		lookahead = 1
+	}
+	s.par = par
+	par.run = event.NewSharded(s.eng, event.ShardedConfig{
+		Shards:       w,
+		Lookahead:    lookahead,
+		Floor:        w + 1,
+		SpreadFloor:  w,
+		Route:        s.routeEvent,
+		Local:        s.shardLocal,
+		Apply:        s.applyShardOp,
+		Patch:        s.patchShardPost,
+		BeforeWindow: s.resetShardWindow,
+		Ports:        ports,
+		Binding:      binding,
+	})
+	for _, c := range s.cores {
+		sh := par.coreShard[c.id]
+		c.ctr = &par.shards[sh].ctr
+		c.xbar = par.shards[sh].xbar
+	}
+}
+
+// stopParallel releases the worker goroutines and restores the cores'
+// sequential bindings. The accumulated runner statistics stay readable
+// through lastParallel.
+func (s *System) stopParallel() {
+	if s.par == nil {
+		return
+	}
+	s.lastParallel = s.parallelStats()
+	s.par.run.Stop()
+	for _, c := range s.cores {
+		c.ctr = &s.counters
+		c.xbar = s.xbar
+		c.port.Tag = 0
+	}
+	s.unc.Tag = 0
+	s.par = nil
+}
+
+func (s *System) parallelStats() ParallelStats {
+	st := s.par.run.Stats()
+	return ParallelStats{
+		Workers:         st.Shards,
+		Windows:         st.Windows,
+		ParallelWindows: st.ParallelWindows,
+		Barriers:        st.Barriers,
+		InlineEvents:    st.InlineEvents,
+		ParallelEvents:  st.ParallelEvents,
+		BarrierStallNs:  st.BarrierStallNs,
+		RunNs:           st.RunNs,
+	}
+}
+
+// LastParallelStats reports the parallel runner's work for the most
+// recent RunWithHooks call (zero value after sequential runs).
+func (s *System) LastParallelStats() ParallelStats { return s.lastParallel }
+
+// advanceTo is runUntil's engine step: the sequential engine at
+// Workers=1, the windowed parallel runner otherwise. Shard deltas are
+// merged on return, so every external observation point (stats
+// snapshots, checkpoints, hooks) sees the authoritative counters.
+func (s *System) advanceTo(target uint64) {
+	if s.par == nil {
+		s.eng.Run(target)
+		return
+	}
+	s.par.run.Run(target)
+	for i := range s.par.shards {
+		sh := &s.par.shards[i]
+		addCounters(&s.counters, &sh.ctr)
+		sh.ctr = Counters{}
+		s.xbar.AbsorbStats(sh.xbar)
+	}
+}
+
+func addCounters(dst, src *Counters) {
+	dst.DemandReads += src.DemandReads
+	dst.BulkReads += src.BulkReads
+	dst.PrefetchReads += src.PrefetchReads
+	dst.LateBulkReads += src.LateBulkReads
+	dst.DemandWrites += src.DemandWrites
+	dst.EagerWrites += src.EagerWrites
+	dst.PrematureWrites += src.PrematureWrites
+	dst.LLCProbes += src.LLCProbes
+	dst.Instructions += src.Instructions
+	dst.WindowStalls += src.WindowStalls
+	dst.MSHRStalls += src.MSHRStalls
+	dst.ChainStalls += src.ChainStalls
+}
+
+// routeEvent partitions a pending event at peel time. Core events carry
+// their coreRunner; System events carry a waiter token — an active
+// waiter is an access on its way to the LLC (uncore), a claimed one is
+// data returning to its core. Stale tokens route to the uncore, where
+// the handler no-ops exactly as it would sequentially.
+func (s *System) routeEvent(obj any, a0 uint64) int {
+	switch o := obj.(type) {
+	case *coreRunner:
+		return int(s.par.coreShard[o.id])
+	case *System:
+		if _, w := s.waiterByTok(a0); w != nil && w.state == waiterClaimed {
+			return int(s.par.coreShard[w.core])
+		}
+		return 0
+	default:
+		// The memory controller (and anything unrecognised) is uncore.
+		return 0
+	}
+}
+
+// shardLocal is the intra-window post tripwire: the only legitimate
+// posters of events landing inside the lookahead window are a core to
+// itself and the uncore to itself.
+func (s *System) shardLocal(shard int, obj any) bool {
+	if o, ok := obj.(*coreRunner); ok {
+		return int(s.par.coreShard[o.id]) == shard
+	}
+	return shard == 0
+}
+
+// resetShardWindow clears the per-window allocation logs (the runner
+// calls it before each parallel window).
+func (s *System) resetShardWindow() {
+	for i := range s.par.shards {
+		sh := &s.par.shards[i]
+		sh.allocs = sh.allocs[:0]
+		sh.realTok = sh.realTok[:0]
+	}
+}
+
+// applyShardOp executes one logged side effect at the barrier, in global
+// dispatch order — the exact moment the sequential run would have
+// performed it, so the slab free list, slot generations and the latency
+// distribution's insertion order all evolve identically.
+func (s *System) applyShardOp(shard int, code uint8, arg uint64) {
+	sh := &s.par.shards[shard]
+	switch code {
+	case opAllocWaiter:
+		a := &sh.allocs[arg]
+		sh.realTok[arg] = s.allocWaiter(a.acc, int(a.core), a.load, a.pos, a.issue)
+	case opFreeWaiter:
+		s.freeWaiterSlot(int32(arg))
+	case opLoadSample:
+		s.loadLatency.Add(math.Float64frombits(arg))
+	}
+}
+
+// patchShardPost swaps a provisional waiter token for the real one the
+// replay allocated. Only core-posted llcAccess events carry provisional
+// tokens, and they always land beyond the window (the NOC latency is the
+// lookahead), so no provisional token is ever dispatched locally.
+func (s *System) patchShardPost(obj any, a0, a1 uint64) (uint64, uint64) {
+	if a0&provTokFlag != 0 {
+		sh := int(a0 >> provTokShardShift & 0x7fff)
+		idx := a0 & (1<<provTokShardShift - 1)
+		return s.par.shards[sh].realTok[idx], a1
+	}
+	return a0, a1
+}

@@ -243,6 +243,12 @@ type Hooks struct {
 	// any event at or after it. The checkpoint tree uses it to snapshot
 	// trunk state mid-measurement. Returning an error aborts the run.
 	AtCycle func(cycle uint64) error
+	// Parallel, if non-nil, receives the parallel runner's execution
+	// statistics when a run with Config.Workers > 1 finishes (including
+	// canceled runs). Never called for sequential runs. The numbers
+	// describe the execution, not the simulated machine, which is why
+	// they are not part of Result.
+	Parallel func(ParallelStats)
 }
 
 // stride returns the chunk size for hooked runs over `total` cycles.
@@ -273,7 +279,7 @@ func (s *System) runUntil(target uint64, h Hooks, step, total uint64) error {
 		if next > target {
 			next = target
 		}
-		s.eng.Run(next)
+		s.advanceTo(next)
 		if h.Progress != nil {
 			var instr uint64
 			for _, c := range s.cores {
@@ -315,6 +321,15 @@ func (s *System) RunWithHooks(h Hooks) (Result, error) {
 			c.arm(0)
 		}
 		s.primed = true
+	}
+	if w := s.effectiveWorkers(); w > 1 {
+		s.startParallel(w)
+		defer func() {
+			s.stopParallel()
+			if h.Parallel != nil {
+				h.Parallel(s.lastParallel)
+			}
+		}()
 	}
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	step := h.stride(total)
