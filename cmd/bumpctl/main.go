@@ -32,12 +32,14 @@
 //	POST   /v1/jobs             submit a job (affinity-routed, durable ID)
 //	GET    /v1/jobs/{id}        poll a job (answered across restarts)
 //	GET    /v1/jobs/{id}/events SSE progress stream (proxied)
+//	GET    /v1/jobs/{id}/trace  stitched coordinator+worker trace JSON
 //	DELETE /v1/jobs/{id}        cancel a job (proxied)
 //	POST   /v1/batch            run a whole sweep; SSE per-point events
 //	GET    /v1/batch/{id}       sweep progress/aggregate, survives restarts
 //	GET    /v1/results/{hash}   cached result, fleet-wide lookup
 //	GET    /v1/healthz          aggregated fleet health + WAL stats
 //	GET    /v1/cluster          topology: per-worker state, lifecycle, stats
+//	GET    /metrics             Prometheus text exposition
 //	POST   /v1/cluster/register worker heartbeat self-registration
 //	POST   /v1/cluster/cordon   stop new placements to a worker (reversible)
 //	POST   /v1/cluster/uncordon restore placements to a cordoned worker
@@ -48,7 +50,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +60,7 @@ import (
 	"time"
 
 	"bump/internal/cluster"
+	"bump/internal/obs"
 	"bump/internal/service"
 	"bump/internal/wal"
 	"bump/internal/wire"
@@ -83,6 +86,8 @@ func main() {
 		wireAddr  = flag.String("wire-addr", ":8346", "binary wire protocol listen address (empty = HTTP/JSON only)")
 		jsonOnly  = flag.Bool("json-only", false, "talk HTTP/JSON to workers even when they advertise a wire listener")
 		replicas  = flag.Int("replicas", 0, "workers kept holding each warm checkpoint and tree node (0 = 2: owner plus failover target)")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Func("worker", "bumpd worker base URL (repeatable)", func(url string) error {
 		workerURLs = append(workerURLs, url)
@@ -92,9 +97,24 @@ func main() {
 	if *workers != "" {
 		workerURLs = append(workerURLs, strings.Split(*workers, ",")...)
 	}
-	if len(workerURLs) == 0 {
-		log.Print("bumpctl: no seed workers; fleet joins via heartbeat self-registration (bumpd -coordinator)")
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		slog.Error("bumpctl: bad -log-level", "error", err)
+		os.Exit(2)
 	}
+	slog.SetDefault(logger)
+
+	if len(workerURLs) == 0 {
+		slog.Info("no seed workers; fleet joins via heartbeat self-registration (bumpd -coordinator)")
+	}
+
+	// Observability: fleet topology, job states, WAL and aggregated
+	// worker wire stats become scrapeable series; every tracked job
+	// records routing/failover spans stitched with its worker's at
+	// GET /v1/jobs/{id}/trace.
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
 
 	coord, err := cluster.New(context.Background(), cluster.Options{
 		Workers: workerURLs,
@@ -112,19 +132,24 @@ func main() {
 		RetainJobs:    *retainJ,
 		RetainBatches: *retainB,
 		Replicas:      *replicas,
+		Metrics:       metrics,
+		Tracer:        tracer,
+		Logger:        logger,
 	})
 	if err != nil {
-		log.Fatalf("bumpctl: %v", err)
+		slog.Error("startup", "error", err)
+		os.Exit(1)
 	}
 	top := coord.Topology()
 	for _, w := range top.Workers {
-		log.Printf("bumpctl: worker %s %s [%s/%s]", w.ID, w.URL, w.State, w.Lifecycle)
+		slog.Info("worker", "id", w.ID, "url", w.URL, "state", w.State, "lifecycle", w.Lifecycle)
 	}
-	log.Printf("bumpctl: %d/%d workers up (format version %d)", top.Up, top.Total, top.Version)
+	slog.Info("fleet", "up", top.Up, "total", top.Total, "format_version", top.Version)
 	if *dataDir != "" {
 		h := coord.Health()
-		log.Printf("bumpctl: durable state in %s (replayed %d records, %d jobs; %d in-flight jobs recovered)",
-			*dataDir, h.WAL.ReplayedRecords, h.WAL.ReplayedJobs, h.WAL.RecoveredJobs)
+		slog.Info("durable state replayed", "dir", *dataDir,
+			"records", h.WAL.ReplayedRecords, "jobs", h.WAL.ReplayedJobs,
+			"recovered_inflight", h.WAL.RecoveredJobs)
 	}
 
 	// Binary wire listener: the coordinator serves the same hot surface
@@ -134,7 +159,8 @@ func main() {
 	if *wireAddr != "" {
 		l, err := net.Listen("tcp", *wireAddr)
 		if err != nil {
-			log.Fatalf("bumpctl: wire listen: %v", err)
+			slog.Error("wire listen", "addr", *wireAddr, "error", err)
+			os.Exit(1)
 		}
 		wireSrv = wire.Serve(l, service.NewWireHandler(coord))
 		flagHost, _, herr := net.SplitHostPort(*wireAddr)
@@ -143,7 +169,7 @@ func main() {
 		}
 		_, boundPort, _ := net.SplitHostPort(l.Addr().String())
 		coord.SetWireAddr(net.JoinHostPort(flagHost, boundPort))
-		log.Printf("bumpctl: wire protocol on %s", l.Addr())
+		slog.Info("wire protocol listening", "addr", l.Addr().String())
 	}
 
 	srv := &http.Server{
@@ -156,7 +182,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("bumpctl: listening on %s", *addr)
+		slog.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -164,29 +190,36 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("bumpctl: %s received, draining for up to %s", sig, *drain)
+		slog.Info("draining", "signal", sig.String(), "window", *drain)
 	case err := <-errc:
 		coord.Close()
-		log.Fatalf("bumpctl: serve: %v", err)
+		slog.Error("serve", "error", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("bumpctl: shutdown: %v", err)
+		slog.Warn("shutdown", "error", err)
 	}
 	if wireSrv != nil {
 		wireSrv.Close()
 	}
 	coord.Close()
-	log.Printf("bumpctl: stopped")
+	slog.Info("stopped")
 }
 
-// logRequests is a minimal access log.
+// logRequests is a minimal structured access log; the trace header, when
+// a client sent one, ties the request line to its job timeline.
 func logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		log.Printf("bumpctl: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+		args := []any{"method", r.Method, "path", r.URL.Path,
+			"duration", time.Since(start).Round(time.Millisecond)}
+		if tid := r.Header.Get(service.TraceHeader); tid != "" {
+			args = append(args, "trace", tid)
+		}
+		slog.Debug("request", args...)
 	})
 }

@@ -28,16 +28,18 @@
 //	POST   /v1/jobs             submit a job spec
 //	GET    /v1/jobs/{id}        poll a job
 //	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /v1/jobs/{id}/trace  Chrome trace-event JSON for the job
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/results/{hash}   cached result by config hash
 //	GET    /v1/healthz          liveness + statistics
+//	GET    /metrics             Prometheus text exposition
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +48,7 @@ import (
 	"time"
 
 	"bump/internal/blob"
+	"bump/internal/obs"
 	"bump/internal/scenario"
 	"bump/internal/service"
 	"bump/internal/sim"
@@ -71,6 +74,9 @@ func main() {
 		coord    = flag.String("coordinator", "", "bumpctl base URL to heartbeat-register with (self-registration; no static -workers entry needed)")
 		adv      = flag.String("advertise", "", "base URL the coordinator reaches this worker at (required with -coordinator)")
 		beat     = flag.Duration("heartbeat", 2*time.Second, "heartbeat interval (with -coordinator)")
+		sample   = flag.Int("trace-sample", 0, "record fine-grained progress-slice spans for every Nth job (0 = coarse phases only)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON  = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Func("scenario", "scenario spec file to register under its name (repeatable); jobs reference it via {\"scenario\": \"<name>\"}", func(path string) error {
 		sc, err := scenario.Load(path)
@@ -80,22 +86,37 @@ func main() {
 		if err := scenario.Register(sc); err != nil {
 			return err
 		}
-		log.Printf("bumpd: registered scenario %q (%d tenants)", sc.Name, len(sc.Tenants))
+		slog.Info("registered scenario", "name", sc.Name, "tenants", len(sc.Tenants))
 		return nil
 	})
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		slog.Error("bumpd: bad -log-level", "error", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	// Observability: every pool/cache/warm/parallel statistic becomes a
+	// scrapeable series, and every job records a span timeline served at
+	// GET /v1/jobs/{id}/trace.
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
 
 	var warmBackend sim.WarmBackend
 	var blobStore *blob.Store
 	if *warmDir != "" {
 		bs, err := blob.Open(*warmDir, *warmDisk)
 		if err != nil {
-			log.Fatalf("bumpd: open checkpoint store: %v", err)
+			slog.Error("open checkpoint store", "dir", *warmDir, "error", err)
+			os.Exit(1)
 		}
 		blobStore = bs
 		warmBackend = bs
 		st := bs.Stats()
-		log.Printf("bumpd: checkpoint store %s (%d blobs, %d bytes, cap %d)", *warmDir, st.Blobs, st.Bytes, st.Capacity)
+		slog.Info("checkpoint store open", "dir", *warmDir,
+			"blobs", st.Blobs, "bytes", st.Bytes, "capacity", st.Capacity)
 	}
 	pool := service.NewPool(service.Options{
 		Workers:          *workers,
@@ -107,6 +128,9 @@ func main() {
 		WarmStarts:       *warm,
 		WarmEntries:      *warmSz,
 		WarmBackend:      warmBackend,
+		Metrics:          metrics,
+		Tracer:           tracer,
+		TraceSample:      *sample,
 	})
 
 	// Binary wire listener: the advertised address keeps the flag's host
@@ -117,7 +141,8 @@ func main() {
 	if *wireAddr != "" {
 		l, err := net.Listen("tcp", *wireAddr)
 		if err != nil {
-			log.Fatalf("bumpd: wire listen: %v", err)
+			slog.Error("wire listen", "addr", *wireAddr, "error", err)
+			os.Exit(1)
 		}
 		wireSrv = wire.Serve(l, service.NewWireHandler(service.NewPoolWireBackend(pool)))
 		flagHost, _, err := net.SplitHostPort(*wireAddr)
@@ -126,12 +151,16 @@ func main() {
 		}
 		_, boundPort, _ := net.SplitHostPort(l.Addr().String())
 		advertisedWire = net.JoinHostPort(flagHost, boundPort)
-		log.Printf("bumpd: wire protocol on %s (advertised %q)", l.Addr(), advertisedWire)
+		slog.Info("wire protocol listening", "addr", l.Addr().String(), "advertised", advertisedWire)
 	}
 
 	srv := &http.Server{
-		Addr:        *addr,
-		Handler:     logRequests(service.NewHandlerInfo(pool, service.ServerInfo{WireAddr: advertisedWire})),
+		Addr: *addr,
+		Handler: logRequests(service.NewHandlerInfo(pool, service.ServerInfo{
+			WireAddr: advertisedWire,
+			Metrics:  metrics,
+			Tracer:   tracer,
+		})),
 		ReadTimeout: 30 * time.Second,
 		// No WriteTimeout: SSE streams stay open for a job's lifetime;
 		// the per-job timeout bounds them instead.
@@ -139,8 +168,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("bumpd: listening on %s (workers=%d, cache=%d, timeout=%s)",
-			*addr, pool.Stats().Workers, *cacheSz, *timeout)
+		slog.Info("listening", "addr", *addr, "workers", pool.Stats().Workers,
+			"cache", *cacheSz, "timeout", *timeout)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -151,7 +180,8 @@ func main() {
 	defer stopBeat()
 	if *coord != "" {
 		if *adv == "" {
-			log.Fatal("bumpd: -coordinator requires -advertise (the base URL the coordinator reaches this worker at)")
+			slog.Error("-coordinator requires -advertise (the base URL the coordinator reaches this worker at)")
+			os.Exit(2)
 		}
 		go func() {
 			registered := false
@@ -172,10 +202,11 @@ func main() {
 					switch {
 					case err != nil:
 						registered = false
-						log.Printf("bumpd: heartbeat to %s failed: %v", *coord, err)
+						slog.Warn("heartbeat failed", "coordinator", *coord, "error", err)
 					case !registered:
 						registered = true
-						log.Printf("bumpd: registered with %s as %s [%s/%s]", *coord, resp.ID, resp.State, resp.Lifecycle)
+						slog.Info("registered with coordinator", "coordinator", *coord,
+							"id", resp.ID, "state", resp.State, "lifecycle", resp.Lifecycle)
 					}
 				})
 		}()
@@ -185,10 +216,11 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("bumpd: %s received, draining for up to %s", sig, *drain)
+		slog.Info("draining", "signal", sig.String(), "window", *drain)
 	case err := <-errc:
 		pool.Close()
-		log.Fatalf("bumpd: serve: %v", err)
+		slog.Error("serve", "error", err)
+		os.Exit(1)
 	}
 
 	// Graceful shutdown: stop accepting connections, give in-flight
@@ -196,7 +228,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("bumpd: shutdown: %v", err)
+		slog.Warn("shutdown", "error", err)
 	}
 	if wireSrv != nil {
 		wireSrv.Close()
@@ -205,14 +237,20 @@ func main() {
 	if blobStore != nil {
 		blobStore.Close()
 	}
-	log.Printf("bumpd: stopped")
+	slog.Info("stopped")
 }
 
-// logRequests is a minimal access log.
+// logRequests is a minimal structured access log; the trace header, when
+// a client sent one, ties the request line to its job timeline.
 func logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		log.Printf("bumpd: %s %s (%s)", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+		args := []any{"method", r.Method, "path", r.URL.Path,
+			"duration", time.Since(start).Round(time.Millisecond)}
+		if tid := r.Header.Get(service.TraceHeader); tid != "" {
+			args = append(args, "trace", tid)
+		}
+		slog.Debug("request", args...)
 	})
 }

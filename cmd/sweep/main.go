@@ -188,6 +188,7 @@ func main() {
 
 	var pool *service.Pool
 	var coord *cluster.Coordinator
+	var cl *service.Client
 	var run runner
 	switch {
 	case *server != "" && strings.Contains(*server, ","):
@@ -214,7 +215,7 @@ func main() {
 		if *warm {
 			fmt.Fprintln(os.Stderr, "sweep: -warm applies to in-process runs; enable warm starts on bumpd with its -warm flag")
 		}
-		cl := service.NewClient(*server)
+		cl = service.NewClient(*server)
 		cl.DisableWire = *jsonOnly
 		run = remoteRunner{client: cl}
 	default:
@@ -223,8 +224,24 @@ func main() {
 		run = localRunner{pool: pool}
 	}
 	// After the sweep, show where the fleet spent and saved its warmup
-	// work — the per-worker view of warm-affinity routing.
+	// work — the per-worker view of warm-affinity routing — and how the
+	// transport behaved (wire fast-path vs HTTP fallback, conn reuse).
+	reportWire := func(ws service.WireStats) {
+		if ws.Calls == 0 && ws.Fallbacks == 0 {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sweep: wire: %d calls, %d fallbacks, %d dials, %d reused conns\n",
+			ws.Calls, ws.Fallbacks, ws.Dials, ws.Reuses)
+	}
 	defer func() {
+		if cl != nil {
+			reportWire(cl.WireStats())
+			if h, err := cl.Health(context.Background()); err == nil {
+				ws := h.Stats.Warm
+				fmt.Fprintf(os.Stderr, "sweep: server warm: %d hits/%d misses, %d fork hits/%d fork misses, %d warmup cycles reused\n",
+					ws.Hits, ws.Misses, ws.ForkHits, ws.ForkMisses, ws.WarmupCyclesReused)
+			}
+		}
 		if coord == nil {
 			return
 		}
@@ -236,6 +253,15 @@ func main() {
 				w.ID, w.URL, w.State, w.Stats.Warm.Hits, w.Stats.Warm.Misses,
 				w.Stats.Cache.Hits, w.Stats.Cache.Misses, w.Stats.Executions)
 		}
+		var ws service.WireStats
+		for _, wk := range coord.Registry().Workers() {
+			s := wk.Client.WireStats()
+			ws.Calls += s.Calls
+			ws.Fallbacks += s.Fallbacks
+			ws.Dials += s.Dials
+			ws.Reuses += s.Reuses
+		}
+		reportWire(ws)
 	}()
 
 	w := csv.NewWriter(os.Stdout)

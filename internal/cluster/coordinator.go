@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"bump/internal/obs"
 	"bump/internal/service"
 	"bump/internal/snapshot"
 	"bump/internal/wal"
@@ -52,6 +54,19 @@ type Options struct {
 	// deep fork trees can raise it to survive multi-worker loss at the
 	// cost of proportional transfer traffic.
 	Replicas int
+	// Metrics, when non-nil, gets the coordinator's collectors (fleet
+	// topology, job states, WAL, aggregated worker wire stats) and is
+	// served at GET /metrics.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records coordinator-side spans (route,
+	// await, failover, checkpoint prefetch/replicate) per tracked job;
+	// GET /v1/jobs/{id}/trace stitches the assigned worker's spans onto
+	// them under one trace ID.
+	Tracer *obs.Tracer
+	// Logger receives structured fleet/job lifecycle events (failovers,
+	// registrations, ejections) with job and trace IDs attached. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Coordinator federates the fleet behind the single-worker /v1 API plus
@@ -85,6 +100,13 @@ type Coordinator struct {
 	// ReplicateOnce does not re-ask a worker that already fetched or
 	// failed this round cadence.
 	replicated map[string]time.Time
+
+	// tracer records coordinator-side spans; keyJobs maps a warm key to
+	// the traced job that last routed under it, so checkpoint-transfer
+	// spans (keyed by digest, not job) land on the right timeline.
+	tracer  *obs.Tracer
+	keyJobs map[string]string
+	log     *slog.Logger
 }
 
 // New builds a coordinator: opens (and replays) the store, seeds the
@@ -162,6 +184,15 @@ func New(ctx context.Context, opts Options) (*Coordinator, error) {
 		batches:    make(map[string]*batchEntry),
 		inflight:   make(map[string]int),
 		replicated: make(map[string]time.Time),
+		tracer:     opts.Tracer,
+		keyJobs:    make(map[string]string),
+		log:        opts.Logger,
+	}
+	if c.log == nil {
+		c.log = slog.New(slog.DiscardHandler)
+	}
+	if opts.Metrics != nil {
+		c.registerCollectors(opts.Metrics)
 	}
 	// Failover checkpoint transfer: before a spec lands on a worker that
 	// does not hold its warm checkpoint, pull it from a peer that does.
@@ -320,6 +351,14 @@ func (c *Coordinator) driveJob(id string) {
 			return
 		}
 		if rec.Worker == "" {
+			if c.tracer != nil {
+				// Begin is idempotent; recovered and batch-point jobs get
+				// their ID minted here, and the worker receives it in the
+				// spec so both sides' spans share one trace.
+				rec.Spec.TraceID = c.tracer.Begin(id, rec.Spec.TraceID)
+				c.noteKeyJob(rec.Key, id)
+			}
+			routeT0 := time.Now()
 			st, wk, err := c.router.Submit(c.ctx, rec.Key, rec.Spec, tried)
 			switch {
 			case errors.Is(err, ErrNoWorkers):
@@ -338,9 +377,16 @@ func (c *Coordinator) driveJob(id string) {
 				// failing over further would only repeat the rejection.
 				rec.State = service.StateFailed
 				rec.Error = err.Error()
+				c.log.Warn("job failed at placement", "job", id,
+					"trace", rec.Spec.TraceID, "error", err)
 				c.finish(rec, true)
 				return
 			}
+			c.span(id, "route", routeT0, time.Now(),
+				obs.SpanArg{Key: "worker", Val: wk.ID},
+				obs.SpanArg{Key: "key", Val: rec.Key})
+			c.log.Debug("job placed", "job", id, "trace", rec.Spec.TraceID,
+				"worker", wk.ID, "key", rec.Key)
 			// A cancel may have landed while the job was unplaced; don't
 			// resurrect it.
 			if cur, ok := c.store.Job(id); ok && cur.State.Terminal() {
@@ -366,6 +412,7 @@ func (c *Coordinator) driveJob(id string) {
 		wk, okw := c.reg.Worker(rec.Worker)
 		var st service.JobStatus
 		var err error
+		awaitT0 := time.Now()
 		if okw {
 			st, err = wk.Client.Wait(c.ctx, rec.Local)
 		} else {
@@ -375,11 +422,18 @@ func (c *Coordinator) driveJob(id string) {
 			return
 		}
 		if err == nil {
+			c.span(id, "await", awaitT0, time.Now(),
+				obs.SpanArg{Key: "worker", Val: rec.Worker})
 			applyStatus(&rec, st)
 			c.markUnassigned(rec.Worker)
 			c.finish(rec, true)
 			return
 		}
+		c.instant(id, "failover",
+			obs.SpanArg{Key: "worker", Val: rec.Worker},
+			obs.SpanArg{Key: "error", Val: err.Error()})
+		c.log.Warn("job failing over", "job", id, "trace", rec.Spec.TraceID,
+			"worker", rec.Worker, "error", err)
 		if okw {
 			c.reg.ReportFailure(wk.ID, err)
 			tried[wk.ID] = true
@@ -418,6 +472,7 @@ func (c *Coordinator) eject(workerID string) {
 	info, err := c.reg.SetLifecycle(workerID, LifecycleEjected)
 	if err == nil {
 		c.store.PutWorker(WorkerRecord{ID: info.ID, URL: info.URL, Lifecycle: LifecycleEjected})
+		c.log.Info("worker ejected", "worker", info.ID, "url", info.URL)
 	}
 }
 
@@ -821,6 +876,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/cordon", c.lifecycleVerb(LifecycleCordoned))
 	mux.HandleFunc("POST /v1/cluster/uncordon", c.lifecycleVerb(LifecycleActive))
 	mux.HandleFunc("POST /v1/cluster/drain", c.drain)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", c.trace)
+	mux.HandleFunc("GET /metrics", c.metrics)
 	return mux
 }
 
@@ -858,6 +915,9 @@ func (c *Coordinator) submit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
+	}
+	if spec.TraceID == "" {
+		spec.TraceID = r.Header.Get(service.TraceHeader)
 	}
 	st, err := c.SubmitJob(r.Context(), spec)
 	if err != nil {
@@ -1153,6 +1213,8 @@ func (c *Coordinator) register(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
+		c.log.Info("worker registered", "worker", info.ID, "url", info.URL,
+			"lifecycle", info.Lifecycle)
 	}
 	writeJSON(w, http.StatusOK, service.RegisterResponse{
 		ID:        info.ID,
@@ -1199,6 +1261,7 @@ func (c *Coordinator) lifecycleVerb(lc Lifecycle) http.HandlerFunc {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
+		c.log.Info("worker lifecycle set", "worker", info.ID, "lifecycle", lc)
 		writeJSON(w, http.StatusOK, info)
 	}
 }
@@ -1221,6 +1284,7 @@ func (c *Coordinator) drain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	c.log.Info("worker draining", "worker", info.ID)
 	c.mu.Lock()
 	idle := c.inflight[id] == 0
 	c.mu.Unlock()

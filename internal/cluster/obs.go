@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"bump/internal/obs"
+	"bump/internal/service"
+)
+
+// This file is the coordinator's observability surface: scrape-time
+// collectors adapting fleet/WAL/wire statistics onto a metrics
+// registry, the coordinator-side span helpers, and the stitched
+// GET /v1/jobs/{id}/trace handler that merges a worker's spans onto the
+// coordinator's routing timeline under one trace ID.
+
+// registerCollectors adapts the coordinator's existing stats surfaces
+// (Topology, Store.Stats, per-worker client WireStats, in-flight
+// assignment counts) as scrape-time collectors. Called by New when
+// Options.Metrics is set.
+func (c *Coordinator) registerCollectors(reg *obs.Registry) {
+	reg.Collect(func(g *obs.Gather) {
+		top := c.Topology()
+		g.Gauge("bump_cluster_workers_up", "Admitted workers currently up.", float64(top.Up))
+		g.Gauge("bump_cluster_workers_total", "Workers in the registry.", float64(top.Total))
+		g.Gauge("bump_cluster_tracked_jobs", "Retained coordinator job records.", float64(top.Jobs))
+		g.Gauge("bump_cluster_tracked_batches", "Retained sweep records.", float64(top.Batches))
+		g.Gauge("bump_cluster_uptime_seconds", "Coordinator uptime.", top.Uptime)
+
+		states := make(map[service.State]int)
+		for _, j := range c.store.Jobs() {
+			states[j.State]++
+		}
+		for _, st := range []service.State{
+			service.StateQueued, service.StateRunning, service.StateDone,
+			service.StateFailed, service.StateCanceled,
+		} {
+			g.Gauge("bump_cluster_jobs", "Tracked jobs by state.", float64(states[st]), "state", string(st))
+		}
+
+		c.mu.Lock()
+		inflight := 0
+		for _, n := range c.inflight {
+			inflight += n
+		}
+		c.mu.Unlock()
+		g.Gauge("bump_cluster_inflight", "Jobs currently assigned to workers.", float64(inflight))
+
+		st := c.store.Stats()
+		durable := 0.0
+		if st.Durable {
+			durable = 1
+		}
+		g.Gauge("bump_wal_durable", "1 when the coordinator writes a WAL.", durable)
+		g.Gauge("bump_wal_segments", "Live WAL segment files.", float64(st.WAL.Segments))
+		g.Gauge("bump_wal_size_bytes", "Total WAL bytes on disk.", float64(st.WAL.SizeBytes))
+		g.Counter("bump_wal_replayed_records_total", "WAL records replayed at startup.", float64(st.WAL.Replayed))
+		g.Counter("bump_wal_appended_records_total", "WAL records appended since startup.", float64(st.WAL.Appended))
+		g.Counter("bump_wal_compactions_total", "Checkpoint compactions.", float64(st.WAL.Compactions))
+
+		var ws service.WireStats
+		for _, wk := range c.reg.Workers() {
+			s := wk.Client.WireStats()
+			ws.Calls += s.Calls
+			ws.Fallbacks += s.Fallbacks
+			ws.Dials += s.Dials
+			ws.Reuses += s.Reuses
+		}
+		g.Counter("bump_wire_calls_total", "Binary fast-path calls to workers.", float64(ws.Calls))
+		g.Counter("bump_wire_fallbacks_total", "Wire calls that fell back to HTTP/JSON.", float64(ws.Fallbacks))
+		g.Counter("bump_wire_dials_total", "Wire connections dialed to workers.", float64(ws.Dials))
+		g.Counter("bump_wire_reuses_total", "Wire connections reused from the pool.", float64(ws.Reuses))
+	})
+}
+
+// span records one interval on a tracked job (no-op without a tracer).
+func (c *Coordinator) span(jobID, name string, start, end time.Time, args ...obs.SpanArg) {
+	if c.tracer != nil {
+		c.tracer.Span(jobID, name, start, end, args...)
+	}
+}
+
+// instant records a point event on a tracked job.
+func (c *Coordinator) instant(jobID, name string, args ...obs.SpanArg) {
+	if c.tracer != nil {
+		c.tracer.Instant(jobID, name, time.Now(), args...)
+	}
+}
+
+// noteKeyJob remembers which tracked job last routed under a warm key,
+// so the checkpoint transfer machinery (prefetch hooks, the background
+// replicator) — which sees keys, not jobs — can attach its spans to the
+// job that motivated the transfer.
+func (c *Coordinator) noteKeyJob(key, jobID string) {
+	if c.tracer == nil || key == "" {
+		return
+	}
+	c.mu.Lock()
+	c.keyJobs[key] = jobID
+	c.mu.Unlock()
+}
+
+// spanForKey records a span on the job last routed under key (dropped
+// when no traced job claimed the key).
+func (c *Coordinator) spanForKey(key, name string, start, end time.Time, args ...obs.SpanArg) {
+	if c.tracer == nil {
+		return
+	}
+	c.mu.Lock()
+	jobID, ok := c.keyJobs[key]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.tracer.Span(jobID, name, start, end, args...)
+}
+
+// metrics serves the coordinator's registry as Prometheus text.
+func (c *Coordinator) metrics(w http.ResponseWriter, r *http.Request) {
+	if c.opts.Metrics == nil {
+		writeError(w, http.StatusNotFound, "metrics are not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	c.opts.Metrics.WriteText(w)
+}
+
+// trace serves a tracked job's stitched timeline: the coordinator's own
+// routing/failover/transfer spans (pid 1) plus the assigned worker's
+// spans (pid 2), re-homed under one trace ID. Worker fetch is
+// best-effort: a dead worker still yields the coordinator-side view.
+func (c *Coordinator) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if c.tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing is not enabled")
+		return
+	}
+	exp, ok := c.tracer.Export(id, 1, "bumpctl")
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace for job %s", id)
+		return
+	}
+	if rec, okr := c.store.Job(id); okr && rec.Worker != "" && rec.Local != "" {
+		if wk, okw := c.reg.Worker(rec.Worker); okw {
+			if data, err := wk.Client.JobTrace(r.Context(), rec.Local); err == nil {
+				if wexp, perr := obs.ParseExport(data); perr == nil {
+					exp.Merge(wexp, 2, "worker "+wk.ID)
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, exp)
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"bump/internal/obs"
 	"bump/internal/service"
 	"bump/internal/sim"
 )
@@ -35,6 +36,14 @@ func (c *Coordinator) SubmitJob(ctx context.Context, spec service.JobSpec) (serv
 	if err != nil {
 		return service.JobStatus{}, &service.APIError{Code: http.StatusBadRequest, Message: err.Error()}
 	}
+	// Mint the fleet-wide trace ID before placement so the worker's
+	// spans share it; the coordinator ID does not exist yet, so the
+	// route span is recorded retroactively below (spans carry explicit
+	// start/end times).
+	if c.tracer != nil && spec.TraceID == "" {
+		spec.TraceID = obs.NewTraceID()
+	}
+	routeT0 := time.Now()
 	st, wk, err := c.router.Submit(ctx, key, spec, nil)
 	switch {
 	case errors.Is(err, ErrNoWorkers):
@@ -43,6 +52,13 @@ func (c *Coordinator) SubmitJob(ctx context.Context, spec service.JobSpec) (serv
 		return service.JobStatus{}, coerceAPIError(err)
 	}
 	id := JoinJobID(c.store.NextJobID(), wk.ID)
+	if c.tracer != nil {
+		c.tracer.Begin(id, spec.TraceID)
+		c.noteKeyJob(key, id)
+		c.span(id, "route", routeT0, time.Now(),
+			obs.SpanArg{Key: "worker", Val: wk.ID},
+			obs.SpanArg{Key: "key", Val: key})
+	}
 	rec := JobRecord{ID: id, Spec: spec, Key: key, Hash: st.Hash, State: st.State}
 	if st.State.Terminal() {
 		applyStatus(&rec, st)
@@ -212,8 +228,12 @@ func (c *Coordinator) prefetchCheckpoint(ctx context.Context, w *Worker, key str
 	}
 	fctx, cancel := context.WithTimeout(ctx, prefetchTimeout)
 	defer cancel()
+	t0 := time.Now()
 	if ok, err := w.Client.FetchCheckpoint(fctx, key, sources); err == nil && ok {
 		c.reg.MarkHolds(w.ID, key)
+		c.spanForKey(key, "checkpoint.prefetch", t0, time.Now(),
+			obs.SpanArg{Key: "worker", Val: w.ID},
+			obs.SpanArg{Key: "digest", Val: key})
 	}
 }
 
@@ -256,10 +276,14 @@ func (c *Coordinator) ReplicateOnce(ctx context.Context) int {
 				continue
 			}
 			fctx, cancel := context.WithTimeout(ctx, prefetchTimeout)
+			t0 := time.Now()
 			ok2, err := w.Client.FetchCheckpoint(fctx, key, sources)
 			cancel()
 			if err == nil && ok2 {
 				c.reg.MarkHolds(w.ID, key)
+				c.spanForKey(key, "checkpoint.replicate", t0, time.Now(),
+					obs.SpanArg{Key: "worker", Val: w.ID},
+					obs.SpanArg{Key: "digest", Val: key})
 				fetched++
 			}
 		}

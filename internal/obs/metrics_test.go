@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUpdates hammers one counter, gauge and histogram from
+// many goroutines; run under -race this is the data-race gate, and the
+// final counts must be exact (no lost updates).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bump_test_ops_total", "ops")
+	g := r.Gauge("bump_test_depth", "depth")
+	h := r.Histogram("bump_test_latency_seconds", "latency", []float64{0.01, 0.1, 1})
+
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < perG; k++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(k%3) * 0.05)
+				if k%100 == 0 {
+					var sb strings.Builder
+					if err := r.WriteText(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: a value equal to
+// an upper bound lands in that bucket (cumulative counts include it),
+// values beyond the last bound land only in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("bump_test_hist", "", []float64{1, 2, 5})
+
+	for _, v := range []float64{0, 1, 1.5, 2, 2.0001, 5, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`bump_test_hist_bucket{le="1"} 2`,    // 0, 1
+		`bump_test_hist_bucket{le="2"} 4`,    // + 1.5, 2
+		`bump_test_hist_bucket{le="5"} 6`,    // + 2.0001, 5
+		`bump_test_hist_bucket{le="+Inf"} 7`, // + 100
+		`bump_test_hist_count 7`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Sum() != 111.5001 {
+		t.Errorf("sum = %v, want 111.5001", h.Sum())
+	}
+}
+
+// TestExpositionGolden pins the full text exposition byte-for-byte:
+// family ordering (sorted by name), HELP/TYPE headers, label rendering,
+// histogram series shape, and collector samples merged under static
+// families.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bump_jobs_total", "Jobs submitted.", "state", "done").Add(3)
+	r.Counter("bump_jobs_total", "Jobs submitted.", "state", "failed").Add(1)
+	r.Gauge("bump_queue_depth", "Queued jobs.").Set(2)
+	h := r.Histogram("bump_phase_seconds", "Phase latency.", []float64{0.1, 1}, "phase", "warmup")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+	r.Collect(func(g *Gather) {
+		g.Gauge("bump_workers_alive", "Live workers.", 3)
+		g.Counter("bump_jobs_total", "Jobs submitted.", 9, "state", "routed")
+	})
+
+	const want = `# HELP bump_jobs_total Jobs submitted.
+# TYPE bump_jobs_total counter
+bump_jobs_total{state="done"} 3
+bump_jobs_total{state="failed"} 1
+bump_jobs_total{state="routed"} 9
+# HELP bump_phase_seconds Phase latency.
+# TYPE bump_phase_seconds histogram
+bump_phase_seconds_bucket{phase="warmup",le="0.1"} 1
+bump_phase_seconds_bucket{phase="warmup",le="1"} 2
+bump_phase_seconds_bucket{phase="warmup",le="+Inf"} 3
+bump_phase_seconds_sum{phase="warmup"} 3.55
+bump_phase_seconds_count{phase="warmup"} 3
+# HELP bump_queue_depth Queued jobs.
+# TYPE bump_queue_depth gauge
+bump_queue_depth 2
+# HELP bump_workers_alive Live workers.
+# TYPE bump_workers_alive gauge
+bump_workers_alive 3
+`
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestRegistrationConflict pins the conflict rules: re-registering a
+// name under a different kind panics (static path), and collector
+// samples that collide with a registered family of a different kind
+// are dropped and counted, never emitted.
+func TestRegistrationConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bump_conflict_total", "")
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registering a counter as a gauge did not panic")
+			}
+		}()
+		r.Gauge("bump_conflict_total", "")
+	}()
+
+	// Same name and kind is idempotent, not a conflict.
+	a := r.Counter("bump_conflict_total", "")
+	b := r.Counter("bump_conflict_total", "")
+	if a != b {
+		t.Error("same name+kind+labels returned distinct counters")
+	}
+
+	r.Collect(func(g *Gather) {
+		g.Gauge("bump_conflict_total", "", 1) // kind conflict: dropped
+		g.Counter("bump_ok_total", "", 2)
+	})
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "bump_conflict_total 1") {
+		t.Errorf("conflicting collector sample was emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "bump_ok_total 2") {
+		t.Errorf("clean collector sample missing:\n%s", out)
+	}
+	if r.Conflicts() != 1 {
+		t.Errorf("Conflicts() = %d, want 1", r.Conflicts())
+	}
+}
+
+// TestLabelEscaping pins label-value escaping of backslash, quote and
+// newline.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bump_esc_total", "", "path", "a\\b\"c\nd").Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `bump_esc_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped label missing %q:\n%s", want, sb.String())
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// NewTraceID mints a 16-hex-char trace ID. Trace IDs are minted once at
+// submit (client, worker pool, or coordinator — whichever sees the job
+// first) and propagated unchanged across every hop: the JobSpec field,
+// the X-Bump-Trace HTTP header, and the wire protocol's v2 job frames.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID
+		// still traces, it just won't be unique.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanArg is one key/value annotation on a span.
+type SpanArg struct {
+	Key string
+	Val any
+}
+
+// span is one recorded interval (or instant, when End equals Start).
+type span struct {
+	name       string
+	start, end time.Time
+	instant    bool
+	args       []SpanArg
+}
+
+// jobTrace is the per-job span log.
+type jobTrace struct {
+	traceID string
+	spans   []span
+}
+
+// Tracer records spans per job ID, bounded to the most recent maxJobs
+// jobs (oldest evicted first). Safe for concurrent use; recording is a
+// short critical section, never on the simulator's event loop.
+type Tracer struct {
+	mu    sync.Mutex
+	max   int
+	jobs  map[string]*jobTrace
+	order []string
+}
+
+// NewTracer returns a tracer retaining spans for up to maxJobs jobs
+// (default 512 when maxJobs <= 0).
+func NewTracer(maxJobs int) *Tracer {
+	if maxJobs <= 0 {
+		maxJobs = 512
+	}
+	return &Tracer{max: maxJobs, jobs: make(map[string]*jobTrace)}
+}
+
+// Begin registers a job under a trace ID (idempotent; an empty traceID
+// mints one). Returns the job's trace ID.
+func (t *Tracer) Begin(jobID, traceID string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if jt, ok := t.jobs[jobID]; ok {
+		return jt.traceID
+	}
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	for len(t.order) >= t.max {
+		delete(t.jobs, t.order[0])
+		t.order = t.order[1:]
+	}
+	t.jobs[jobID] = &jobTrace{traceID: traceID}
+	t.order = append(t.order, jobID)
+	return traceID
+}
+
+// TraceID returns the trace ID for a tracked job.
+func (t *Tracer) TraceID(jobID string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.jobs[jobID]
+	if !ok {
+		return "", false
+	}
+	return jt.traceID, true
+}
+
+// Span records one completed interval on a job. Unknown job IDs are
+// dropped (the job was evicted or never traced).
+func (t *Tracer) Span(jobID, name string, start, end time.Time, args ...SpanArg) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.jobs[jobID]
+	if !ok {
+		return
+	}
+	jt.spans = append(jt.spans, span{name: name, start: start, end: end, args: args})
+}
+
+// Instant records a point event on a job.
+func (t *Tracer) Instant(jobID, name string, at time.Time, args ...SpanArg) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.jobs[jobID]
+	if !ok {
+		return
+	}
+	jt.spans = append(jt.spans, span{name: name, start: at, end: at, instant: true, args: args})
+}
+
+// TraceEvent is one Chrome trace-event JSON object (the
+// chrome://tracing "X"/"i"/"M" event shapes).
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds since the unix epoch
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// TraceExport is the chrome://tracing JSON object format.
+type TraceExport struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+func micros(t time.Time) float64 { return float64(t.UnixNano()) / 1e3 }
+
+// Export renders a job's spans as a Chrome trace, on the given pid with
+// the given process name. Returns false for unknown jobs.
+func (t *Tracer) Export(jobID string, pid int, process string) (*TraceExport, bool) {
+	t.mu.Lock()
+	jt, ok := t.jobs[jobID]
+	if !ok {
+		t.mu.Unlock()
+		return nil, false
+	}
+	spans := append([]span(nil), jt.spans...)
+	traceID := jt.traceID
+	t.mu.Unlock()
+
+	exp := &TraceExport{
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"trace_id": traceID, "job_id": jobID},
+		TraceEvents:     make([]TraceEvent, 0, len(spans)+1),
+	}
+	exp.TraceEvents = append(exp.TraceEvents, processName(pid, process))
+	for _, s := range spans {
+		ev := TraceEvent{
+			Name:  s.name,
+			Phase: "X",
+			Ts:    micros(s.start),
+			Dur:   micros(s.end) - micros(s.start),
+			Pid:   pid,
+			Tid:   1,
+		}
+		if s.instant {
+			ev.Phase = "i"
+			ev.Dur = 0
+			ev.Scope = "p"
+		}
+		if len(s.args) > 0 {
+			ev.Args = make(map[string]any, len(s.args)+1)
+			for _, a := range s.args {
+				ev.Args[a.Key] = a.Val
+			}
+		}
+		if ev.Args == nil {
+			ev.Args = map[string]any{}
+		}
+		ev.Args["trace_id"] = traceID
+		exp.TraceEvents = append(exp.TraceEvents, ev)
+	}
+	return exp, true
+}
+
+// processName builds the chrome://tracing metadata event naming a pid.
+func processName(pid int, name string) TraceEvent {
+	return TraceEvent{
+		Name:  "process_name",
+		Phase: "M",
+		Pid:   pid,
+		Tid:   1,
+		Args:  map[string]any{"name": name},
+	}
+}
+
+// Merge appends another export's events onto exp, re-homing them to pid
+// under the given process name — the coordinator uses it to stitch a
+// worker's spans onto its own routing/failover timeline.
+func (exp *TraceExport) Merge(other *TraceExport, pid int, process string) {
+	exp.TraceEvents = append(exp.TraceEvents, processName(pid, process))
+	for _, ev := range other.TraceEvents {
+		if ev.Phase == "M" {
+			continue // re-homed below our own process_name
+		}
+		ev.Pid = pid
+		exp.TraceEvents = append(exp.TraceEvents, ev)
+	}
+}
+
+// ParseExport decodes a Chrome trace export produced by Export.
+func ParseExport(data []byte) (*TraceExport, error) {
+	var exp TraceExport
+	if err := json.Unmarshal(data, &exp); err != nil {
+		return nil, err
+	}
+	return &exp, nil
+}

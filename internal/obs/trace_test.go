@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerExport(t *testing.T) {
+	tr := NewTracer(8)
+	id := tr.Begin("j1", "")
+	if len(id) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex chars", id)
+	}
+	if again := tr.Begin("j1", "ffff000011112222"); again != id {
+		t.Fatalf("Begin not idempotent: %q then %q", id, again)
+	}
+
+	base := time.Unix(1000, 0)
+	tr.Span("j1", "queue", base, base.Add(5*time.Millisecond))
+	tr.Span("j1", "measure", base.Add(5*time.Millisecond), base.Add(105*time.Millisecond), SpanArg{"cycles", 400000})
+	tr.Instant("j1", "failover", base.Add(50*time.Millisecond), SpanArg{"worker", "w2"})
+	tr.Span("unknown", "dropped", base, base) // evicted/untracked: no panic
+
+	exp, ok := tr.Export("j1", 1, "bumpd")
+	if !ok {
+		t.Fatal("Export: job missing")
+	}
+	if exp.Metadata["trace_id"] != id {
+		t.Fatalf("metadata trace_id = %v, want %s", exp.Metadata["trace_id"], id)
+	}
+	// process_name metadata + 3 spans.
+	if len(exp.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(exp.TraceEvents))
+	}
+	if exp.TraceEvents[0].Phase != "M" {
+		t.Fatalf("first event phase %q, want metadata", exp.TraceEvents[0].Phase)
+	}
+	q := exp.TraceEvents[1]
+	if q.Name != "queue" || q.Phase != "X" || q.Dur != 5000 {
+		t.Fatalf("queue span = %+v", q)
+	}
+	if q.Args["trace_id"] != id {
+		t.Fatalf("span missing trace_id arg: %+v", q.Args)
+	}
+	if exp.TraceEvents[3].Phase != "i" {
+		t.Fatalf("instant phase = %q, want i", exp.TraceEvents[3].Phase)
+	}
+
+	// The export round-trips through JSON (the HTTP handler path).
+	data, err := json.Marshal(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseExport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.TraceEvents) != len(exp.TraceEvents) {
+		t.Fatalf("round trip lost events: %d != %d", len(back.TraceEvents), len(exp.TraceEvents))
+	}
+
+	// Merge re-homes the other export's events under a new pid and
+	// drops its metadata in favor of a fresh process_name.
+	coord := NewTracer(8)
+	coord.Begin("c1", id)
+	coord.Span("c1", "route", base, base.Add(time.Millisecond))
+	cexp, _ := coord.Export("c1", 1, "bumpctl")
+	cexp.Merge(back, 2, "worker w1")
+	var workerEvents int
+	for _, ev := range cexp.TraceEvents {
+		if ev.Pid == 2 && ev.Phase != "M" {
+			workerEvents++
+			if ev.Args["trace_id"] != id {
+				t.Fatalf("merged span lost trace_id: %+v", ev)
+			}
+		}
+	}
+	if workerEvents != 3 {
+		t.Fatalf("merged worker events = %d, want 3", workerEvents)
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Begin("j1", "")
+	tr.Begin("j2", "")
+	tr.Begin("j3", "") // evicts j1
+	if _, ok := tr.TraceID("j1"); ok {
+		t.Fatal("j1 survived eviction")
+	}
+	if _, ok := tr.TraceID("j3"); !ok {
+		t.Fatal("j3 missing")
+	}
+	tr.Span("j1", "late", time.Now(), time.Now()) // dropped, no panic
+	if _, ok := tr.Export("j1", 1, "x"); ok {
+		t.Fatal("evicted job exported")
+	}
+}

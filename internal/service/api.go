@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"bump/internal/obs"
 	"bump/internal/sim"
 	"bump/internal/snapshot"
 )
@@ -137,11 +138,18 @@ func NewHandler(p *Pool) http.Handler {
 }
 
 // ServerInfo is what a server advertises about itself beyond pool
-// statistics — currently the wire fast-path address.
+// statistics — the wire fast-path address plus its observability
+// surfaces.
 type ServerInfo struct {
 	// WireAddr is the binary protocol listener to advertise in
 	// /v1/healthz (empty = no wire listener).
 	WireAddr string
+	// Metrics, when non-nil, is served as Prometheus text at
+	// GET /metrics (normally the same registry the pool records into).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, serves Chrome trace-event JSON at
+	// GET /v1/jobs/{id}/trace (normally the pool's tracer).
+	Tracer *obs.Tracer
 }
 
 // NewHandlerInfo is NewHandler with server self-description.
@@ -152,11 +160,13 @@ func NewHandlerInfo(p *Pool, info ServerInfo) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.job)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.trace)
 	mux.HandleFunc("POST /v1/batch", s.batch)
 	mux.HandleFunc("GET /v1/results/{hash}", s.result)
 	mux.HandleFunc("GET /v1/healthz", s.healthz)
 	mux.HandleFunc("GET /v1/checkpoints/{digest}", s.checkpoint)
 	mux.HandleFunc("POST /v1/checkpoints/fetch", s.checkpointFetch)
+	mux.HandleFunc("GET /metrics", s.metrics)
 	return mux
 }
 
@@ -183,6 +193,11 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
+	}
+	// The header is the fallback trace-context carrier for clients that
+	// cannot touch the spec body; an explicit spec field wins.
+	if spec.TraceID == "" {
+		spec.TraceID = r.Header.Get(TraceHeader)
 	}
 	st, err := s.pool.Submit(spec)
 	switch {
@@ -244,6 +259,37 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 		Checkpoints: s.pool.WarmKeys(),
 		Conns:       SharedConnStats(),
 	})
+}
+
+// TraceHeader carries the trace ID on HTTP submits, for propagation
+// across hops that cannot (or prefer not to) rewrite the spec body.
+const TraceHeader = "X-Bump-Trace"
+
+// metrics serves the registry in Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	if s.info.Metrics == nil {
+		writeError(w, http.StatusNotFound, "metrics are not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.info.Metrics.WriteText(w)
+}
+
+// trace serves a job's recorded spans as Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto).
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.info.Tracer == nil {
+		writeError(w, http.StatusNotFound, "tracing is not enabled")
+		return
+	}
+	exp, ok := s.info.Tracer.Export(id, 1, "bumpd")
+	if !ok {
+		writeError(w, http.StatusNotFound, "no trace for job %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, exp)
 }
 
 // checkpoint serves a warm checkpoint's raw bytes by digest — the

@@ -91,8 +91,9 @@ func (e *APIError) Error() string {
 }
 
 // doJSON issues a request bounded by ctx plus RequestTimeout and
-// decodes the JSON response into out (when non-nil).
-func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, out any) error {
+// decodes the JSON response into out (when non-nil). hdr is optional
+// extra header key/value pairs.
+func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, out any, hdr ...string) error {
 	ctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
 	defer cancel()
 	ctx = traceConns(ctx)
@@ -106,6 +107,9 @@ func (c *Client) doJSON(ctx context.Context, method, url string, body []byte, ou
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -152,11 +156,43 @@ func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
+	// The spec body already carries trace_id; the header duplicates it
+	// for intermediaries that route on headers without parsing bodies.
+	var hdr []string
+	if spec.TraceID != "" {
+		hdr = []string{TraceHeader, spec.TraceID}
+	}
 	var p JobPayload
-	if err := c.doJSON(ctx, http.MethodPost, c.base+"/v1/jobs", body, &p); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, c.base+"/v1/jobs", body, &p, hdr...); err != nil {
 		return JobStatus{}, err
 	}
 	return p.JobStatus, nil
+}
+
+// JobTrace fetches a job's recorded spans as raw Chrome trace-event
+// JSON (GET /v1/jobs/{id}/trace). The coordinator uses it to stitch a
+// worker's spans onto its own routing timeline.
+func (c *Client) JobTrace(ctx context.Context, id string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.requestTimeout())
+	defer cancel()
+	ctx = traceConns(ctx)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: trace: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("service: %s: trace: %w", c.base, err)
+	}
+	if resp.StatusCode >= 400 {
+		return nil, c.apiError(resp.StatusCode, resp.Status, data)
+	}
+	return data, nil
 }
 
 // Job fetches a job's current status.

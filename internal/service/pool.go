@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"bump/internal/obs"
 	"bump/internal/sim"
 	"bump/internal/snapshot"
 )
@@ -71,6 +72,20 @@ type Options struct {
 	// transferable to peers via /v1/checkpoints/{digest}. Implies
 	// WarmStarts when non-nil.
 	WarmBackend sim.WarmBackend
+	// Metrics, when non-nil, registers the pool's series on the given
+	// registry: phase-latency histograms updated on the job path, plus
+	// scrape-time collectors adapting PoolStats/CacheStats/WarmStats/
+	// ParallelPoolStats (everything /v1/healthz reports).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records per-job spans (queue wait, warm-key
+	// resolution, restore, trunk extension, warmup, measurement,
+	// sequencer barriers, encode) for GET /v1/jobs/{id}/trace. Trace IDs
+	// arrive on JobSpec.TraceID or are minted at submit.
+	Tracer *obs.Tracer
+	// TraceSample additionally records fine-grained per-interval slice
+	// spans for one in every TraceSample executions (0 = off, the
+	// default — the hot loop stays allocation-free).
+	TraceSample int
 }
 
 func (o Options) withDefaults() Options {
@@ -88,13 +103,15 @@ func (o Options) withDefaults() Options {
 
 // job is the pool-internal record; JobStatus is its exported snapshot.
 type job struct {
-	id       string
-	hash     string
-	spec     JobSpec
-	cfg      sim.Config
-	priority int
-	seq      uint64
-	timeout  time.Duration
+	id        string
+	hash      string
+	spec      JobSpec
+	cfg       sim.Config
+	priority  int
+	seq       uint64
+	timeout   time.Duration
+	traceID   string
+	submitted time.Time
 
 	heapIndex int // position in the queue heap; -1 when not queued
 
@@ -179,6 +196,10 @@ type Pool struct {
 	cache *resultCache
 	// warm is the warm-checkpoint store (nil when WarmStarts is off).
 	warm *sim.WarmStore
+	// tracer records per-job spans; phaseHist holds one latency
+	// histogram per phase name. Both nil when observability is off.
+	tracer    *obs.Tracer
+	phaseHist map[string]*obs.Histogram
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -217,6 +238,20 @@ func NewPool(opts Options) *Pool {
 		byHash: make(map[string]*job),
 	}
 	p.cache = newResultCache(p.opts.CacheEntries)
+	p.tracer = p.opts.Tracer
+	if p.opts.Metrics != nil {
+		p.phaseHist = make(map[string]*obs.Histogram)
+		for _, name := range []string{
+			"queue", "warm.resolve", "restore", "trunk.extend",
+			"warmup", "measure", "encode", "execute", "parallel.barriers",
+		} {
+			p.phaseHist[name] = p.opts.Metrics.Histogram(
+				"bump_sim_phase_seconds",
+				"Simulation job phase latency in seconds.",
+				obs.DurationBuckets, "phase", name)
+		}
+		RegisterPoolCollectors(p.opts.Metrics, p)
+	}
 	p.tokens = runtime.GOMAXPROCS(0)
 	if p.opts.Workers > p.tokens {
 		p.tokens = p.opts.Workers
@@ -246,6 +281,11 @@ func (p *Pool) Submit(spec JobSpec) (JobStatus, error) {
 	if err != nil {
 		return JobStatus{}, err
 	}
+	// Mint the trace ID at submit when no upstream layer has: every span
+	// this job produces anywhere in the fleet shares it.
+	if p.tracer != nil && spec.TraceID == "" {
+		spec.TraceID = obs.NewTraceID()
+	}
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -261,6 +301,10 @@ func (p *Pool) Submit(spec JobSpec) (JobStatus, error) {
 			active.priority = spec.Priority
 			heap.Fix(&p.queue, active.heapIndex)
 		}
+		if p.tracer != nil {
+			p.tracer.Instant(active.id, "coalesced", time.Now(),
+				obs.SpanArg{Key: "joiner_trace_id", Val: spec.TraceID})
+		}
 		return p.statusLocked(active), nil
 	}
 
@@ -269,6 +313,10 @@ func (p *Pool) Submit(spec JobSpec) (JobStatus, error) {
 		j.state = StateDone
 		j.cached = true
 		j.result = res
+		if p.tracer != nil {
+			p.tracer.Instant(j.id, "cache.hit", time.Now(),
+				obs.SpanArg{Key: "hash", Val: j.hash})
+		}
 		close(j.done)
 		p.retainTerminalLocked(j)
 		return p.statusLocked(j), nil
@@ -295,11 +343,33 @@ func (p *Pool) newJobLocked(spec JobSpec, cfg sim.Config, hash string) *job {
 		priority:  spec.Priority,
 		seq:       p.seq,
 		timeout:   timeout,
+		traceID:   spec.TraceID,
+		submitted: time.Now(),
 		heapIndex: -1,
 		done:      make(chan struct{}),
 	}
+	if p.tracer != nil {
+		j.traceID = p.tracer.Begin(j.id, j.traceID)
+		j.spec.TraceID = j.traceID
+	}
 	p.jobs[j.id] = j
 	return j
+}
+
+// span records a completed interval on a job's trace (no-op without a
+// tracer).
+func (p *Pool) span(j *job, name string, start, end time.Time, args ...obs.SpanArg) {
+	if p.tracer != nil {
+		p.tracer.Span(j.id, name, start, end, args...)
+	}
+}
+
+// observePhase feeds the bump_sim_phase_seconds histogram for one phase
+// (no-op without a metrics registry).
+func (p *Pool) observePhase(name string, seconds float64) {
+	if h, ok := p.phaseHist[name]; ok {
+		h.Observe(seconds)
+	}
 }
 
 // Job returns a job's current status.
@@ -559,11 +629,52 @@ func (p *Pool) worker() {
 		p.tokensInUse += cost
 		p.mu.Unlock()
 
+		started := time.Now()
+		p.span(j, "queue", j.submitted, started,
+			obs.SpanArg{Key: "priority", Val: j.priority})
+		p.observePhase("queue", started.Sub(j.submitted).Seconds())
+
 		hooks := sim.Hooks{
 			Interval: p.opts.ProgressInterval,
 			Progress: func(pr sim.Progress) { p.publish(j, pr) },
 			Cancel:   func() bool { return ctx.Err() != nil },
-			Parallel: func(st sim.ParallelStats) { p.recordParallel(st) },
+			Parallel: func(st sim.ParallelStats) {
+				p.recordParallel(st)
+				if st.Barriers > 0 {
+					// The engine reports aggregate stall, not per-barrier
+					// intervals; render it as one synthetic span ending now.
+					end := time.Now()
+					p.span(j, "parallel.barriers", end.Add(-time.Duration(st.BarrierStallNs)), end,
+						obs.SpanArg{Key: "barriers", Val: st.Barriers},
+						obs.SpanArg{Key: "workers", Val: st.Workers})
+					p.observePhase("parallel.barriers", float64(st.BarrierStallNs)/1e9)
+				}
+			},
+		}
+		if p.tracer != nil || p.phaseHist != nil {
+			hooks.Phase = func(name string, start, end time.Time) {
+				p.span(j, name, start, end)
+				p.observePhase(name, end.Sub(start).Seconds())
+			}
+		}
+		// Sampled jobs additionally trace per-interval slices — fine-
+		// grained, so opt-in via TraceSample (1 in N executions).
+		if p.tracer != nil && p.opts.TraceSample > 0 && j.seq%uint64(p.opts.TraceSample) == 0 {
+			inner := hooks.Progress
+			last := started
+			var lastCycle uint64
+			hooks.Progress = func(pr sim.Progress) {
+				inner(pr)
+				now := time.Now()
+				name := "slice.warmup"
+				if pr.Measuring {
+					name = "slice.measure"
+				}
+				p.span(j, name, last, now,
+					obs.SpanArg{Key: "cycle", Val: pr.Cycle},
+					obs.SpanArg{Key: "from_cycle", Val: lastCycle})
+				last, lastCycle = now, pr.Cycle
+			}
 		}
 		var res sim.Result
 		var err error
@@ -574,6 +685,12 @@ func (p *Pool) worker() {
 		}
 		timedOut := errors.Is(ctx.Err(), context.DeadlineExceeded)
 		cancel()
+
+		finished := time.Now()
+		p.span(j, "execute", started, finished,
+			obs.SpanArg{Key: "hash", Val: j.hash},
+			obs.SpanArg{Key: "workers", Val: j.cfg.Workers})
+		p.observePhase("execute", finished.Sub(started).Seconds())
 
 		p.mu.Lock()
 		p.running--

@@ -63,6 +63,14 @@ type JobSpec struct {
 	// coalescing and caching, and budgeted by the pool so pool×shard
 	// concurrency stays bounded.
 	Workers int `json:"workers,omitempty"`
+	// TraceID is the distributed-tracing correlation ID, minted at
+	// submit (by whichever layer sees the job first) and propagated
+	// through every hop — coordinator routing, wire frames, worker
+	// pools — so one job's spans share one ID fleet-wide. Pure
+	// observability: like Priority it never reaches sim.Config, so it is
+	// excluded from the config hash and cannot affect coalescing,
+	// caching or results.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Config resolves the spec to a full simulator configuration.

@@ -190,6 +190,13 @@ func (e *appError) Error() string { return e.err.Error() }
 
 // wireCall performs one unary request. handled=false → use JSON.
 func (c *Client) wireCall(ctx context.Context, req byte, reqBody []byte) (byte, []byte, bool, error) {
+	return c.wireCallBody(ctx, req, func(*wire.Conn) []byte { return reqBody })
+}
+
+// wireCallBody is wireCall with the request body built per connection,
+// so the encoding can consult the peer's negotiated hello flags (e.g.
+// dropping trace context for peers that did not advertise it).
+func (c *Client) wireCallBody(ctx context.Context, req byte, mkBody func(*wire.Conn) []byte) (byte, []byte, bool, error) {
 	p := c.wirePool(ctx)
 	if p == nil {
 		return 0, nil, false, nil
@@ -208,7 +215,7 @@ func (c *Client) wireCall(ctx context.Context, req byte, reqBody []byte) (byte, 
 		}
 		stop := watchCtx(ctx, conn)
 		conn.SetDeadline(deadline)
-		err := conn.WriteFrame(req, reqBody)
+		err := conn.WriteFrame(req, mkBody(conn))
 		var typ byte
 		var body []byte
 		if err == nil {
@@ -359,7 +366,16 @@ func (c *Client) decodeWireStatus(typ byte, body []byte) (JobStatus, error) {
 }
 
 func (c *Client) wireSubmit(ctx context.Context, spec JobSpec) (JobStatus, bool, error) {
-	typ, body, handled, err := c.wireCall(ctx, wmSubmit, encodeMsg(wireJobSpec{Spec: spec}))
+	typ, body, handled, err := c.wireCallBody(ctx, wmSubmit, func(conn *wire.Conn) []byte {
+		// Trace context is flag-gated: a peer that did not advertise it
+		// gets a cleared TraceID (pure observability, results unchanged).
+		if spec.TraceID != "" && !conn.TraceContext() {
+			s := spec
+			s.TraceID = ""
+			return encodeMsg(wireJobSpec{Spec: s})
+		}
+		return encodeMsg(wireJobSpec{Spec: spec})
+	})
 	if !handled || err != nil {
 		return JobStatus{}, handled, err
 	}

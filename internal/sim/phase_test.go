@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bump/internal/workload"
+)
+
+// TestPhaseHookTimings pins the coarse phase-timer contract: a hooked
+// run emits warmup, measure and encode exactly once, in order, with
+// contiguous non-negative intervals covering the whole run.
+func TestPhaseHookTimings(t *testing.T) {
+	w, _ := workload.ByName("web-search")
+	cfg := smallConfig(mustMech(t, "bump"), w, 1)
+
+	type ph struct {
+		name       string
+		start, end time.Time
+	}
+	var phases []ph
+	started := time.Now()
+	_, err := RunOneWithHooks(cfg, Hooks{
+		Phase: func(name string, start, end time.Time) {
+			phases = append(phases, ph{name, start, end})
+		},
+	})
+	finished := time.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"warmup", "measure", "encode"}
+	if len(phases) != len(want) {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	for i, p := range phases {
+		if p.name != want[i] {
+			t.Fatalf("phase %d = %q, want %q", i, p.name, want[i])
+		}
+		if p.end.Before(p.start) {
+			t.Fatalf("phase %q ends before it starts", p.name)
+		}
+		if i > 0 && !p.start.Equal(phases[i-1].end) {
+			t.Fatalf("phase %q does not start where %q ended", p.name, phases[i-1].name)
+		}
+	}
+	if phases[0].start.Before(started) || phases[len(phases)-1].end.After(finished) {
+		t.Fatal("phase timings extend outside the run")
+	}
+}
+
+// TestWarmPhaseHooks pins the warm store's phase emissions: a warm hit
+// reports warm.resolve and restore; the leader that built the node
+// reports trunk.extend.
+func TestWarmPhaseHooks(t *testing.T) {
+	w, _ := workload.ByName("web-search")
+	cfg := smallConfig(mustMech(t, "bump"), w, 1)
+	ws := NewWarmStore(4)
+
+	record := func() map[string]int {
+		seen := map[string]int{}
+		_, err := ws.RunWithHooks(cfg, Hooks{
+			Phase: func(name string, _, _ time.Time) { seen[name]++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seen
+	}
+	leader := record()
+	if leader["trunk.extend"] != 1 || leader["warm.resolve"] != 1 || leader["restore"] != 1 {
+		t.Fatalf("leader phases = %v, want trunk.extend, warm.resolve and restore", leader)
+	}
+	hit := record()
+	if hit["trunk.extend"] != 0 || hit["warm.resolve"] != 1 || hit["restore"] != 1 {
+		t.Fatalf("warm-hit phases = %v, want warm.resolve and restore only", hit)
+	}
+}
+
+// TestTracingDisabledAddsNoAllocs is the bench guard for the tracing
+// layer: attaching a Phase hook may only cost O(1) allocations per run
+// — never per event — so with tracing disabled (nil hook, the
+// BenchmarkSimulatorThroughput configuration) the hot loop is untouched.
+func TestTracingDisabledAddsNoAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is slow")
+	}
+	w, _ := workload.ByName("web-search")
+	cfg := smallConfig(mustMech(t, "bump"), w, 1)
+	cfg.WarmupCycles = 20_000
+	cfg.MeasureCycles = 40_000
+
+	var events uint64
+	bare := testing.AllocsPerRun(2, func() {
+		res, err := RunOne(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = res.Events
+	})
+	hooked := testing.AllocsPerRun(2, func() {
+		if _, err := RunOneWithHooks(cfg, Hooks{
+			Phase: func(string, time.Time, time.Time) {},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The hook fires 3 times per run; allow slack for the closure and
+	// timer plumbing, but any per-event cost would blow far past this.
+	const slack = 64
+	if hooked > bare+slack {
+		t.Fatalf("Phase hook added %v allocs/run over %v events (> %d): tracing is on the hot path",
+			hooked-bare, events, slack)
+	}
+}
+
+func mustMech(t *testing.T, name string) Mechanism {
+	t.Helper()
+	m, ok := MechanismByName(name)
+	if !ok {
+		t.Fatalf("unknown mechanism %q", name)
+	}
+	return m
+}

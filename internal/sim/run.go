@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"time"
 
 	"bump/internal/cache"
 	"bump/internal/dram"
@@ -249,6 +250,16 @@ type Hooks struct {
 	// describe the execution, not the simulated machine, which is why
 	// they are not part of Result.
 	Parallel func(ParallelStats)
+	// Phase, if non-nil, receives coarse wall-clock phase timings: the
+	// engine calls it a handful of times per run (never inside the event
+	// loop) with the phase name and its start/end instants. The
+	// observability layer feeds these to the per-job span recorder and
+	// the phase-latency histograms. Phase names emitted by the engine:
+	// "warmup", "measure", "encode"; the warm store adds "warm.resolve",
+	// "restore" and "trunk.extend". A nil hook costs nothing — the hot
+	// path stays allocation-free (bench-guarded by
+	// TestTracingDisabledAddsNoAllocs).
+	Phase func(name string, start, end time.Time)
 }
 
 // stride returns the chunk size for hooked runs over `total` cycles.
@@ -333,6 +344,10 @@ func (s *System) RunWithHooks(h Hooks) (Result, error) {
 	}
 	total := s.cfg.WarmupCycles + s.cfg.MeasureCycles
 	step := h.stride(total)
+	var phaseT0 time.Time
+	if h.Phase != nil {
+		phaseT0 = time.Now()
+	}
 	if err := s.runUntil(s.cfg.WarmupCycles, h, step, total); err != nil {
 		return Result{}, err
 	}
@@ -344,6 +359,11 @@ func (s *System) RunWithHooks(h Hooks) (Result, error) {
 				return Result{}, err
 			}
 		}
+	}
+	if h.Phase != nil {
+		now := time.Now()
+		h.Phase("warmup", phaseT0, now)
+		phaseT0 = now
 	}
 	// Deferred measured parameters (Config.ForkAt) bind at the fork
 	// cycle: run canonically up to it, then apply the configured values.
@@ -372,6 +392,11 @@ func (s *System) RunWithHooks(h Hooks) (Result, error) {
 	}
 	if err := s.runUntil(total, h, step, total); err != nil {
 		return Result{}, err
+	}
+	if h.Phase != nil {
+		now := time.Now()
+		h.Phase("measure", phaseT0, now)
+		phaseT0 = now
 	}
 	s.prof.Flush()
 	before := s.base
@@ -426,6 +451,9 @@ func (s *System) RunWithHooks(h Hooks) (Result, error) {
 		res.EPATotal = res.Energy.MemoryDynamic() / n
 		res.EPAActivation = res.Energy.DRAMActivation / n
 		res.EPABurstIO = res.Energy.BurstIO() / n
+	}
+	if h.Phase != nil {
+		h.Phase("encode", phaseT0, time.Now())
 	}
 	return res, nil
 }

@@ -313,10 +313,17 @@ func (ws *WarmStore) nodeData(cfg Config, cut uint64, h Hooks) (data []byte, bui
 		ws.mu.Unlock()
 		break
 	}
+	var t0 time.Time
+	if h.Phase != nil {
+		t0 = time.Now()
+	}
 	data, err = ws.buildNode(cfg, cut, h)
 	ws.release(key) // wakes waiters on every exit path
 	if err != nil {
 		return nil, false, err
+	}
+	if h.Phase != nil {
+		h.Phase("trunk.extend", t0, time.Now())
 	}
 	return data, true, nil
 }
@@ -472,9 +479,18 @@ func (ws *WarmStore) RunWithHooks(cfg Config, h Hooks) (Result, error) {
 	total := cfg.WarmupCycles + cfg.MeasureCycles
 
 	for attempt := 0; ; attempt++ {
+		var t0 time.Time
+		if h.Phase != nil {
+			t0 = time.Now()
+		}
 		data, built, err := ws.nodeData(cfg, target, h)
 		if err != nil {
 			return Result{}, err
+		}
+		if h.Phase != nil {
+			now := time.Now()
+			h.Phase("warm.resolve", t0, now)
+			t0 = now
 		}
 		s, err := New(cfg)
 		if err != nil {
@@ -491,6 +507,9 @@ func (ws *WarmStore) RunWithHooks(cfg Config, h Hooks) (Result, error) {
 				return Result{}, err
 			}
 			continue
+		}
+		if h.Phase != nil {
+			h.Phase("restore", t0, time.Now())
 		}
 		// Only a successful restore counts as a hit.
 		if !built {

@@ -33,8 +33,8 @@ func FuzzWireFrame(f *testing.F) {
 	valid := append(hello(FormatVersion), frame(0x01, []byte("submit body"))...)
 	valid = append(valid, frame(0x10, nil)...)
 	f.Add(valid)
-	f.Add(hello(FormatVersion + 7))                     // version skew
-	f.Add([]byte("NOTWIRE\x00\x01\x00"))                // bad magic
+	f.Add(hello(FormatVersion + 7))                      // version skew
+	f.Add([]byte("NOTWIRE\x00\x01\x00"))                 // bad magic
 	f.Add(frame(0x02, []byte("lonely frame, no hello"))) // frame where hello expected
 	trunc := frame(0x03, bytes.Repeat([]byte{0xCD}, 300))
 	f.Add(trunc[:len(trunc)-17]) // truncated body
@@ -49,7 +49,7 @@ func FuzzWireFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Surface 1: hello then frames, as a server-side connection reads.
 		r := bytes.NewReader(data)
-		if err := ReadHello(r); err == nil {
+		if _, err := ReadHello(r); err == nil {
 			for {
 				_, body, err := ReadFrame(r)
 				if err != nil {

@@ -6,7 +6,7 @@
 // The protocol is deliberately tiny. A connection opens with a
 // symmetric hello exchange:
 //
-//	magic "BUMPWIR\x00" (8) | format version u16 LE (2)
+//	magic "BUMPWIR\x00" (8) | format version u16 LE (2) | flags u16 LE (2)
 //
 // and then carries frames in both directions:
 //
@@ -43,7 +43,22 @@ import (
 // a snapshot.FormatVersion bump implies a wire bump too). Peers with
 // different versions refuse the connection at hello time and fall back
 // to HTTP/JSON, so mixed-version fleets degrade instead of corrupting.
-const FormatVersion = 1
+//
+// History: v1 had no hello flags; v2 added the flags word and the
+// trace-context field in job-carrying bodies (the snapshot codec is
+// positional, so the extra JobSpec field alone forces the bump).
+const FormatVersion = 2
+
+// Hello flag bits, advertised symmetrically in the hello's flags word.
+const (
+	// HelloFlagTraceContext advertises that this peer reads and
+	// propagates the JobSpec trace-context field. A client clears
+	// outbound trace IDs when the server lacks the flag.
+	HelloFlagTraceContext uint16 = 1 << 0
+)
+
+// HelloFlags is what this build advertises.
+const HelloFlags = HelloFlagTraceContext
 
 // MaxBody bounds a frame body, mirroring the 64MB HTTP response cap in
 // service.Client.
@@ -52,7 +67,7 @@ const MaxBody = 64 << 20
 const magic = "BUMPWIR\x00"
 
 const (
-	helloLen    = len(magic) + 2
+	helloLen    = len(magic) + 2 + 2
 	frameHdrLen = 1 + 4 + 4
 )
 
@@ -69,29 +84,39 @@ func errf(format string, args ...any) error {
 	return fmt.Errorf("wire: "+format, args...)
 }
 
-// WriteHello writes our hello (magic + format version).
+// WriteHello writes our hello (magic + format version + flags).
 func WriteHello(w io.Writer) error {
 	var h [helloLen]byte
 	copy(h[:], magic)
 	binary.LittleEndian.PutUint16(h[len(magic):], FormatVersion)
+	binary.LittleEndian.PutUint16(h[len(magic)+2:], HelloFlags)
 	_, err := w.Write(h[:])
 	return err
 }
 
-// ReadHello reads and validates the peer's hello. A recognizable hello
-// with a different format version is a *VersionError.
-func ReadHello(r io.Reader) error {
-	var h [helloLen]byte
+// ReadHello reads and validates the peer's hello, returning its flags
+// word. A recognizable hello with a different format version is a
+// *VersionError. The version is validated before the flags are read:
+// a v1 peer's hello is two bytes shorter, and reading its flags would
+// steal the first frame's bytes — but v1 is rejected on the version
+// word alone, and the connection is dropped, so the short read never
+// corrupts framing.
+func ReadHello(r io.Reader) (uint16, error) {
+	var h [len(magic) + 2]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
-		return errf("short hello: %v", err)
+		return 0, errf("short hello: %v", err)
 	}
 	if string(h[:len(magic)]) != magic {
-		return errf("bad hello magic")
+		return 0, errf("bad hello magic")
 	}
 	if v := binary.LittleEndian.Uint16(h[len(magic):]); v != FormatVersion {
-		return &VersionError{Got: v}
+		return 0, &VersionError{Got: v}
 	}
-	return nil
+	var fl [2]byte
+	if _, err := io.ReadFull(r, fl[:]); err != nil {
+		return 0, errf("short hello flags: %v", err)
+	}
+	return binary.LittleEndian.Uint16(fl[:]), nil
 }
 
 // WriteFrame writes one frame: type, length, body CRC, body.
@@ -153,6 +178,8 @@ type Conn struct {
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+	// peerFlags is the peer's hello flags word (valid after Handshake).
+	peerFlags uint16
 }
 
 // NewConn wraps a net connection; call Handshake before framing.
@@ -173,8 +200,21 @@ func (c *Conn) Handshake(timeout time.Duration) error {
 	if err := c.bw.Flush(); err != nil {
 		return err
 	}
-	return ReadHello(c.br)
+	flags, err := ReadHello(c.br)
+	if err != nil {
+		return err
+	}
+	c.peerFlags = flags
+	return nil
 }
+
+// PeerFlags returns the peer's hello flags word (zero before
+// Handshake).
+func (c *Conn) PeerFlags() uint16 { return c.peerFlags }
+
+// TraceContext reports whether the peer advertised trace-context
+// support in its hello.
+func (c *Conn) TraceContext() bool { return c.peerFlags&HelloFlagTraceContext != 0 }
 
 // WriteFrame writes and flushes one frame.
 func (c *Conn) WriteFrame(typ byte, body []byte) error {

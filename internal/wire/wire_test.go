@@ -74,22 +74,40 @@ func TestHelloVersionSkew(t *testing.T) {
 	if err := WriteHello(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if err := ReadHello(bytes.NewReader(buf.Bytes())); err != nil {
+	flags, err := ReadHello(bytes.NewReader(buf.Bytes()))
+	if err != nil {
 		t.Fatalf("matching hello rejected: %v", err)
+	}
+	if flags != HelloFlags {
+		t.Fatalf("hello flags %#x, want %#x", flags, HelloFlags)
+	}
+	if flags&HelloFlagTraceContext == 0 {
+		t.Fatal("our own hello does not advertise trace context")
 	}
 
 	skew := append([]byte(nil), buf.Bytes()...)
 	binary.LittleEndian.PutUint16(skew[8:], FormatVersion+1)
 	var ve *VersionError
-	if err := ReadHello(bytes.NewReader(skew)); !errors.As(err, &ve) || ve.Got != FormatVersion+1 {
+	if _, err := ReadHello(bytes.NewReader(skew)); !errors.As(err, &ve) || ve.Got != FormatVersion+1 {
 		t.Fatalf("version skew: %v, want *VersionError", err)
 	}
+	// A v1 hello (no flags word) is rejected on the version word alone,
+	// before the flags read could block on the missing bytes.
+	v1 := append([]byte(nil), buf.Bytes()[:10]...)
+	binary.LittleEndian.PutUint16(v1[8:], 1)
+	if _, err := ReadHello(bytes.NewReader(v1)); !errors.As(err, &ve) || ve.Got != 1 {
+		t.Fatalf("v1 hello: %v, want *VersionError{1}", err)
+	}
 
-	if err := ReadHello(bytes.NewReader([]byte("NOTWIRE\x00\x01\x00"))); err == nil {
+	if _, err := ReadHello(bytes.NewReader([]byte("NOTWIRE\x00\x01\x00"))); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if err := ReadHello(bytes.NewReader(buf.Bytes()[:5])); err == nil {
+	if _, err := ReadHello(bytes.NewReader(buf.Bytes()[:5])); err == nil {
 		t.Fatal("short hello accepted")
+	}
+	// Truncated after the version word: the flags read must error.
+	if _, err := ReadHello(bytes.NewReader(buf.Bytes()[:10])); err == nil {
+		t.Fatal("flagless current-version hello accepted")
 	}
 }
 
